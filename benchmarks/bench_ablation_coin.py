@@ -1,0 +1,91 @@
+"""Ablation -- Ben-Or local coin versus Rabin-style shared coin.
+
+RITAS uses a local coin (Section 5): simple, dealer-light, but with an
+expected round count that is only constant under friendly scheduling.
+The shared coin (predistributed by a trusted dealer) makes every
+correct process see the same toss, so one coin round after any
+disagreement suffices.  This ablation measures the *decision round
+distribution* of binary consensus with split proposals over many
+adversarial-ish schedules.
+"""
+
+import random
+from collections import Counter
+
+from repro.core.config import GroupConfig
+from repro.core.stack import Stack
+from repro.crypto.coin import SharedCoinDealer
+from repro.crypto.keys import TrustedDealer
+
+SAMPLES = 120
+
+
+def _run_one(seed: int, shared: bool) -> int:
+    """One split-proposal binary consensus on a shuffled schedule;
+    returns the latest decision round among correct processes."""
+    config = GroupConfig(4)
+    dealer = TrustedDealer(4, seed=b"coin-ablation")
+    coin_dealer = SharedCoinDealer(secret=b"shared-coin" * 3) if shared else None
+    pairs: dict[tuple[int, int], list[bytes]] = {}
+    stacks: list[Stack] = []
+    for pid in range(4):
+        stacks.append(
+            Stack(
+                config,
+                pid,
+                outbox=lambda dest, data, pid=pid: pairs.setdefault(
+                    (pid, dest), []
+                ).append(data),
+                keystore=dealer.keystore_for(pid),
+                rng=random.Random(f"{seed}/{pid}"),
+                coin=coin_dealer.coin_for(pid) if coin_dealer else None,
+            )
+        )
+    rng = random.Random(f"schedule/{seed}")
+    for stack in stacks:
+        stack.create("bc", ("b",))
+    for pid, stack in enumerate(stacks):
+        stack.instance_at(("b",)).propose(pid % 2)
+    while True:
+        live = [pair for pair, queue in pairs.items() if queue]
+        if not live:
+            break
+        src, dest = rng.choice(live)
+        stacks[dest].receive(src, pairs[(src, dest)].pop(0))
+    return max(stack.instance_at(("b",)).decision_round for stack in stacks)
+
+
+def _distribution(shared: bool) -> Counter:
+    return Counter(_run_one(seed, shared) for seed in range(SAMPLES))
+
+
+def test_local_coin_round_distribution(benchmark):
+    dist = benchmark.pedantic(_distribution, args=(False,), rounds=1, iterations=1)
+    benchmark.extra_info["rounds_histogram"] = dict(sorted(dist.items()))
+    assert sum(dist.values()) == SAMPLES
+    assert dist[1] > SAMPLES / 3  # the fast path dominates even when split
+
+
+def test_shared_coin_round_distribution(benchmark):
+    dist = benchmark.pedantic(_distribution, args=(True,), rounds=1, iterations=1)
+    benchmark.extra_info["rounds_histogram"] = dict(sorted(dist.items()))
+    # With a shared coin, one coin flip after a disagreement suffices:
+    # the tail beyond 2 rounds disappears.
+    assert max(dist) <= 2
+
+
+def test_shared_coin_truncates_the_tail(benchmark):
+    def compare():
+        return _distribution(False), _distribution(True)
+
+    local, shared = benchmark.pedantic(compare, rounds=1, iterations=1)
+    local_tail = sum(count for rounds, count in local.items() if rounds > 2)
+    shared_tail = sum(count for rounds, count in shared.items() if rounds > 2)
+    benchmark.extra_info.update(
+        {
+            "local_rounds": dict(sorted(local.items())),
+            "shared_rounds": dict(sorted(shared.items())),
+        }
+    )
+    assert shared_tail <= local_tail
+    assert shared_tail == 0

@@ -1,0 +1,92 @@
+"""Ablation -- leader-free (RITAS) versus leader-based (Rampart-style)
+atomic broadcast.
+
+Quantifies the design point Section 5 argues qualitatively: the
+sequencer baseline is cheaper per message when its leader is honest,
+but a crashed leader halts it forever, while RITAS keeps delivering
+(and, per Figure 5, even gets faster).
+"""
+
+import pytest
+
+from repro.baselines import with_sequencer
+from repro.core.stack import ProtocolFactory
+from repro.net.faults import FaultPlan
+from repro.net.network import LanSimulation
+
+
+def run_sequencer_burst(burst, crashed_leader=False, seed=8):
+    factory = with_sequencer(ProtocolFactory.default())
+    plan = FaultPlan.fail_stop(0) if crashed_leader else FaultPlan.failure_free()
+    sim = LanSimulation(n=4, seed=seed, fault_plan=plan, base_factory=factory)
+    delivered = []
+    live = sim.correct_ids()
+    for pid in live:
+        ab = sim.stacks[pid].create("seq-ab", ("s",), leader=0)
+        if pid == live[-1]:
+            ab.on_deliver = lambda _i, d: delivered.append(sim.now)
+    per_sender = burst // len(live)
+    for pid in live:
+        for _ in range(per_sender):
+            sim.stacks[pid].instance_at(("s",)).broadcast(bytes(10))
+    target = per_sender * len(live)
+    reason = sim.run(until=lambda: len(delivered) >= target, max_time=30.0)
+    return reason, delivered, sim
+
+
+def run_ritas_burst(burst, crashed=False, seed=8):
+    plan = FaultPlan.fail_stop(0) if crashed else FaultPlan.failure_free()
+    sim = LanSimulation(n=4, seed=seed, fault_plan=plan)
+    delivered = []
+    live = sim.correct_ids()
+    for pid in live:
+        ab = sim.stacks[pid].create("ab", ("a",))
+        if pid == live[-1]:
+            ab.on_deliver = lambda _i, d: delivered.append(sim.now)
+    per_sender = burst // len(live)
+    for pid in live:
+        for _ in range(per_sender):
+            sim.stacks[pid].instance_at(("a",)).broadcast(bytes(10))
+    target = per_sender * len(live)
+    reason = sim.run(until=lambda: len(delivered) >= target, max_time=120.0)
+    return reason, delivered, sim
+
+
+BURST = 64
+
+
+def test_sequencer_cheaper_when_leader_honest(benchmark):
+    def compare():
+        _, seq_times, _ = run_sequencer_burst(BURST)
+        _, ritas_times, _ = run_ritas_burst(BURST)
+        return seq_times[-1], ritas_times[-1]
+
+    seq_latency, ritas_latency = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "sequencer_latency_ms": round(seq_latency * 1e3, 1),
+            "ritas_latency_ms": round(ritas_latency * 1e3, 1),
+            "ritas_over_sequencer": round(ritas_latency / seq_latency, 2),
+        }
+    )
+    assert seq_latency < ritas_latency
+
+
+def test_sequencer_dies_with_leader_ritas_does_not(benchmark):
+    def compare():
+        seq_reason, seq_times, _ = run_sequencer_burst(BURST, crashed_leader=True)
+        ritas_reason, ritas_times, _ = run_ritas_burst(BURST, crashed=True)
+        return seq_reason, len(seq_times), ritas_reason, len(ritas_times)
+
+    seq_reason, seq_count, ritas_reason, ritas_count = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "sequencer_delivered": seq_count,
+            "ritas_delivered": ritas_count,
+        }
+    )
+    assert seq_count == 0  # total liveness loss
+    assert ritas_reason == "until"  # RITAS finished the burst
+    assert ritas_count >= BURST // 4 * 3

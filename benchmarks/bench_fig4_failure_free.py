@@ -1,0 +1,68 @@
+"""Figure 4 -- atomic broadcast latency & throughput, failure-free.
+
+One benchmark per (message size, burst size) grid point; each attaches
+the simulated burst latency and throughput, plus the paper's k=1000
+anchors for that message size.  Shape assertions check the paper's
+claims: latency grows ~linearly with burst size, throughput falls with
+message size, bursts cost ~2 agreements.
+"""
+
+import pytest
+
+from repro.eval.atomic_burst import run_burst
+from repro.eval.paper_data import FIG4_FAILURE_FREE
+
+from conftest import burst_ids, burst_params
+
+
+@pytest.mark.parametrize(("message_bytes", "burst"), burst_params(), ids=burst_ids())
+def test_fig4_burst(benchmark, message_bytes, burst):
+    result = benchmark.pedantic(
+        run_burst,
+        args=(burst, message_bytes, "failure-free"),
+        kwargs={"seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    paper = FIG4_FAILURE_FREE[message_bytes]
+    benchmark.extra_info.update(
+        {
+            "latency_ms": round(result.latency_s * 1e3, 1),
+            "throughput_msgs_s": round(result.throughput_msgs_s),
+            "agreements": result.agreements,
+            "paper_latency_ms_k1000": paper["latency_ms_k1000"],
+            "paper_tmax_msgs_s": paper["tmax_msgs_s"],
+        }
+    )
+    assert result.delivered == burst
+    assert result.max_bc_rounds == 1  # Section 4.3, one-round consensus
+    assert result.agreements <= max(3, burst // 100)
+
+
+def test_fig4_latency_linear_in_burst(benchmark):
+    """L_burst is (approximately) linear in k at fixed message size."""
+
+    def sweep():
+        return [run_burst(k, 10, "failure-free", seed=4).latency_s for k in (64, 256)]
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratio = large / small
+    benchmark.extra_info["latency_ratio_k256_over_k64"] = round(ratio, 2)
+    assert 2.0 < ratio < 8.0  # ~4x messages -> ~4x latency
+
+
+def test_fig4_throughput_falls_with_size(benchmark):
+    def sweep():
+        return {
+            m: run_burst(128, m, "failure-free", seed=4).throughput_msgs_s
+            for m in (10, 1000, 10000)
+        }
+
+    tput = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["throughput_by_size"] = {
+        m: round(v) for m, v in tput.items()
+    }
+    assert tput[10] > tput[1000] > tput[10000]
+    # Paper ratio anchor: T_max(10K) is about an order of magnitude below
+    # T_max(10B).
+    assert tput[10] / tput[10000] > 5

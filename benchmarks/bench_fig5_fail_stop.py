@@ -1,0 +1,49 @@
+"""Figure 5 -- atomic broadcast under the fail-stop faultload.
+
+One process is crashed from the start; the burst is split across the
+n-1 live senders.  The paper's headline: performance is *better* than
+failure-free, because a silent process means less contention.
+"""
+
+import pytest
+
+from repro.eval.atomic_burst import run_burst
+from repro.eval.paper_data import FIG5_FAIL_STOP
+
+from conftest import burst_ids, burst_params
+
+
+@pytest.mark.parametrize(("message_bytes", "burst"), burst_params(), ids=burst_ids())
+def test_fig5_burst(benchmark, message_bytes, burst):
+    result = benchmark.pedantic(
+        run_burst,
+        args=(burst, message_bytes, "fail-stop"),
+        kwargs={"seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+    paper = FIG5_FAIL_STOP[message_bytes]
+    benchmark.extra_info.update(
+        {
+            "latency_ms": round(result.latency_s * 1e3, 1),
+            "throughput_msgs_s": round(result.throughput_msgs_s),
+            "paper_latency_ms_k1000": paper["latency_ms_k1000"],
+            "paper_tmax_msgs_s": paper["tmax_msgs_s"],
+        }
+    )
+    assert result.delivered == burst
+    assert result.max_bc_rounds == 1
+
+
+@pytest.mark.parametrize("message_bytes", [10, 1000])
+def test_fig5_faster_than_failure_free(benchmark, message_bytes):
+    """The crash *speeds up* the protocol (Section 4.3)."""
+
+    def compare():
+        free = run_burst(128, message_bytes, "failure-free", seed=5)
+        stop = run_burst(128, message_bytes, "fail-stop", seed=5)
+        return free.latency_s, stop.latency_s
+
+    free_latency, stop_latency = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = round(free_latency / stop_latency, 2)
+    assert stop_latency < free_latency

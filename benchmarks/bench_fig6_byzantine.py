@@ -1,0 +1,54 @@
+"""Figure 6 -- atomic broadcast under the Byzantine faultload.
+
+One process permanently attacks: proposing 0 at the binary consensus
+layer and pushing ⊥ at the multi-valued consensus layer (Section 4.2).
+The paper's headline: "performance is basically immune from the
+attacks" -- the attacker never foils a consensus, never forces a second
+round, never forces a ⊥ decision.
+"""
+
+import pytest
+
+from repro.eval.atomic_burst import run_burst
+from repro.eval.paper_data import FIG6_BYZANTINE
+
+from conftest import burst_ids, burst_params
+
+
+@pytest.mark.parametrize(("message_bytes", "burst"), burst_params(), ids=burst_ids())
+def test_fig6_burst(benchmark, message_bytes, burst):
+    result = benchmark.pedantic(
+        run_burst,
+        args=(burst, message_bytes, "byzantine"),
+        kwargs={"seed": 6},
+        rounds=1,
+        iterations=1,
+    )
+    paper = FIG6_BYZANTINE[message_bytes]
+    benchmark.extra_info.update(
+        {
+            "latency_ms": round(result.latency_s * 1e3, 1),
+            "throughput_msgs_s": round(result.throughput_msgs_s),
+            "paper_latency_ms_k1000": paper["latency_ms_k1000"],
+            "paper_tmax_msgs_s": paper["tmax_msgs_s"],
+        }
+    )
+    assert result.delivered == burst
+    # The attack never succeeds:
+    assert result.max_bc_rounds == 1
+    assert result.mvc_default_decisions == 0
+
+
+@pytest.mark.parametrize("message_bytes", [10, 1000])
+def test_fig6_immune_to_attack(benchmark, message_bytes):
+    """Latency under attack within a few percent of failure-free."""
+
+    def compare():
+        free = run_burst(128, message_bytes, "failure-free", seed=6)
+        byz = run_burst(128, message_bytes, "byzantine", seed=6)
+        return free.latency_s, byz.latency_s
+
+    free_latency, byz_latency = benchmark.pedantic(compare, rounds=1, iterations=1)
+    overhead = byz_latency / free_latency - 1
+    benchmark.extra_info["byzantine_overhead_pct"] = round(overhead * 100, 1)
+    assert abs(overhead) < 0.25

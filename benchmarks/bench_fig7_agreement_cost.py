@@ -1,0 +1,51 @@
+"""Figure 7 -- the relative cost of agreement versus burst size.
+
+For each burst, counts the (reliable + echo) broadcasts executed on
+behalf of the agreement task against the total, reproducing the paper's
+dilution curve: ~92% at k=4 falling to a few percent at k=1000.
+"""
+
+import pytest
+
+from repro.eval.atomic_burst import run_burst
+from repro.eval.paper_data import FIG7_AGREEMENT_COST
+
+from conftest import BURSTS
+
+
+@pytest.mark.parametrize("burst", BURSTS)
+def test_fig7_agreement_cost(benchmark, burst):
+    result = benchmark.pedantic(
+        run_burst,
+        args=(burst, 10, "failure-free"),
+        kwargs={"seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "agreement_cost_pct": round(result.agreement_cost * 100, 1),
+            "agreement_broadcasts": result.agreement_broadcasts,
+            "total_broadcasts": result.total_broadcasts,
+            "paper_anchor_k4": FIG7_AGREEMENT_COST[4],
+            "paper_anchor_k1000": FIG7_AGREEMENT_COST[1000],
+        }
+    )
+    assert 0.0 < result.agreement_cost < 1.0
+
+
+def test_fig7_dilution_curve(benchmark):
+    """The curve itself: monotone non-increasing, matching both anchors."""
+
+    def sweep():
+        return {
+            k: run_burst(k, 10, "failure-free", seed=7).agreement_cost
+            for k in (4, 16, 64, 250, 1000)
+        }
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["curve_pct"] = {k: round(c * 100, 1) for k, c in costs.items()}
+    values = list(costs.values())
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert costs[4] > 0.85  # paper: ~92%
+    assert costs[1000] < 0.08  # paper: 2.4%

@@ -1,0 +1,67 @@
+"""Extension -- how the stack scales with group size.
+
+The paper evaluates n=4 only; this sweep grows the group to n=7 and
+n=10 (f=2 and f=3) on the same calibrated LAN model.  The expected
+shape: per-protocol latency grows superlinearly (reliable broadcast is
+O(n²) frames and every consensus step runs n of them), which is the
+standard cost of signature-free Byzantine protocols and why the paper
+calls optimal resilience "important since the cost of each additional
+replica has a significant impact".
+"""
+
+import pytest
+
+from repro.eval.stack_analysis import measure_protocol_latency
+
+SIZES = (4, 7, 10)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("protocol", ["rb", "bc", "ab"])
+def test_scaling_latency(benchmark, protocol, n):
+    latency = benchmark.pedantic(
+        measure_protocol_latency,
+        args=(protocol,),
+        kwargs={"n": n, "runs": 2, "seed": 9},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({"n": n, "latency_us": round(latency * 1e6)})
+
+
+@pytest.mark.parametrize("protocol", ["rb", "bc", "ab"])
+def test_latency_grows_with_n(benchmark, protocol):
+    def sweep():
+        return [
+            measure_protocol_latency(protocol, n=n, runs=1, seed=9) for n in SIZES
+        ]
+
+    latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["latency_us_by_n"] = {
+        n: round(v * 1e6) for n, v in zip(SIZES, latencies)
+    }
+    assert latencies[0] < latencies[1] < latencies[2]
+
+
+def test_message_complexity_quadratic(benchmark):
+    """Frame counts for one reliable broadcast: ~n² growth."""
+    from repro.net.network import LanSimulation
+
+    def frames_for(n):
+        sim = LanSimulation(n=n, seed=9)
+        done = []
+        for pid, stack in enumerate(sim.stacks):
+            rb = stack.create("rb", ("s",), sender=0)
+            rb.on_deliver = lambda _i, v: done.append(1)
+        sim.stacks[0].instance_at(("s",)).broadcast(b"m")
+        sim.run()
+        return sim.frames_delivered
+
+    def sweep():
+        return {n: frames_for(n) for n in SIZES}
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["frames_by_n"] = counts
+    # INIT n + ECHO n^2 + READY n^2, so the 4 -> 10 ratio is ~ (10/4)^2.
+    ratio = counts[10] / counts[4]
+    assert 4.0 < ratio < 9.0

@@ -1,0 +1,56 @@
+"""Table 1 -- average latency for isolated executions of each protocol.
+
+Regenerates both columns (with IPSec / plain IP) for every layer of the
+stack and attaches the paper's numbers for comparison.  The benchmark
+clock measures how long the simulation takes to run; the reproduced
+quantity is the *simulated* latency in ``extra_info``.
+"""
+
+import pytest
+
+from repro.eval.paper_data import TABLE1_US
+from repro.eval.stack_analysis import PROTOCOL_ORDER, measure_protocol_latency
+
+RUNS = 3
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_ORDER)
+def test_table1_latency(benchmark, protocol):
+    def measure():
+        with_ipsec = measure_protocol_latency(
+            protocol, ipsec=True, runs=RUNS, seed=1
+        )
+        without = measure_protocol_latency(
+            protocol, ipsec=False, runs=RUNS, seed=1
+        )
+        return with_ipsec, without
+
+    with_ipsec, without = benchmark.pedantic(measure, rounds=1, iterations=1)
+    paper = TABLE1_US[protocol]
+    benchmark.extra_info.update(
+        {
+            "latency_us_ipsec": round(with_ipsec * 1e6),
+            "latency_us_plain": round(without * 1e6),
+            "ipsec_overhead_pct": round((with_ipsec / without - 1) * 100, 1),
+            "paper_us_ipsec": paper["ipsec"],
+            "paper_us_plain": paper["plain"],
+        }
+    )
+    # Shape assertions: IPSec always costs something; we are in the
+    # paper's order of magnitude.
+    assert with_ipsec > without
+    assert paper["ipsec"] / 3 < with_ipsec * 1e6 < paper["ipsec"] * 3
+
+
+def test_table1_ordering(benchmark):
+    """The headline shape: EB < RB < BC < MVC < VC < AB."""
+
+    def measure():
+        return [
+            measure_protocol_latency(protocol, ipsec=True, runs=1, seed=2)
+            for protocol in PROTOCOL_ORDER
+        ]
+
+    latencies = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert latencies == sorted(latencies)
+    benchmark.extra_info["latencies_us"] = [round(v * 1e6) for v in latencies]

@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates (a slice of) one of the paper's tables or
+figures on the calibrated LAN simulation.  Wall-clock time measured by
+pytest-benchmark is the *simulation cost*; the paper-comparable numbers
+(simulated latency, throughput, agreement cost) are attached to each
+benchmark's ``extra_info`` and printed in the summary.
+
+Set ``RITAS_BENCH_FULL=1`` to run the paper's full parameter grid
+(bursts 4..1000 x message sizes 10..10K; minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("RITAS_BENCH_FULL", "") not in ("", "0")
+
+#: Burst sizes for the figure sweeps.
+BURSTS = (4, 8, 16, 32, 64, 125, 250, 500, 1000) if FULL else (4, 32, 250)
+#: Message sizes in bytes.
+SIZES = (10, 100, 1000, 10000) if FULL else (10, 1000)
+
+
+@pytest.fixture(scope="session")
+def grid():
+    return {"bursts": BURSTS, "sizes": SIZES, "full": FULL}
+
+
+def burst_params():
+    """(message_bytes, burst_size) pairs for the current grid."""
+    return [(m, k) for m in SIZES for k in BURSTS]
+
+
+def burst_ids():
+    return [f"m{m}-k{k}" for m, k in burst_params()]

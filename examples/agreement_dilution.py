@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""The economics of batching: agreement cost dilutes with load (Figure 7).
+
+Atomic broadcast is equivalent to consensus, yet the paper shows a
+burst of 1000 messages needs only ~2 agreements: a consensus started
+for the first message batches everything that arrives while it runs.
+This example sweeps burst sizes and prints the fraction of all
+(reliable + echo) broadcasts that the agreement task consumed -- from
+~92% at k=4 down to a few percent at k=1000.
+
+Run with:  python examples/agreement_dilution.py
+"""
+
+from repro.eval.atomic_burst import run_burst
+
+BURSTS = (4, 8, 16, 32, 64, 125, 250, 500, 1000)
+
+
+def main() -> None:
+    print("burst size -> agreement broadcasts / total broadcasts (10-byte messages)\n")
+    print(f"{'k':>6}{'agreements':>12}{'agr bcasts':>12}{'total':>8}{'cost':>8}")
+    for burst in BURSTS:
+        r = run_burst(burst, 10, "failure-free", seed=5)
+        bar = "#" * int(r.agreement_cost * 40)
+        print(
+            f"{burst:>6}{r.agreements:>12}{r.agreement_broadcasts:>12}"
+            f"{r.total_broadcasts:>8}{r.agreement_cost:>8.1%}  {bar}"
+        )
+    print("\npaper anchors: 92% at k=4, 2.4% at k=1000 (Figure 7)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Byzantine process behaviours used by the evaluation (Section 4.2).
+
+The paper's Byzantine faultload runs one process that "permanently
+tries to disrupt the protocols":
+
+- at the **binary consensus** layer it always proposes and broadcasts
+  zero, trying to impose a 0 decision (which would make the multi-valued
+  consensus above it abort with ⊥);
+- at the **multi-valued consensus** layer it always pushes the default
+  value ⊥ in both its INIT and VECT messages, trying to force correct
+  processes onto the default decision -- which, at the atomic broadcast
+  layer, would waste an agreement round.
+
+Strategies are expressed as protocol-factory transforms so a corrupt
+process's stack is assembled with adversarial classes while correct
+processes stay untouched (see :class:`repro.core.stack.ProtocolFactory`).
+"""
+
+from repro.adversary.strategies import (
+    AlwaysZeroBinaryConsensus,
+    CrashOnProposeBinaryConsensus,
+    DefaultValueMultiValuedConsensus,
+    RandomBitBinaryConsensus,
+    byzantine_paper_faultload,
+    crash_consensus_faultload,
+    random_noise_faultload,
+)
+
+__all__ = [
+    "AlwaysZeroBinaryConsensus",
+    "CrashOnProposeBinaryConsensus",
+    "DefaultValueMultiValuedConsensus",
+    "RandomBitBinaryConsensus",
+    "byzantine_paper_faultload",
+    "crash_consensus_faultload",
+    "random_noise_faultload",
+]

@@ -1,0 +1,73 @@
+"""Concrete adversarial protocol variants.
+
+Each class subclasses an honest protocol and overrides only its
+*adversary hooks* -- the honest message flow (thresholds, child
+instances, bookkeeping) is inherited, which is exactly what a smart
+attacker does: stay syntactically correct so messages pass validation,
+while steering values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.binary_consensus import BinaryConsensus
+from repro.core.multivalued_consensus import MultiValuedConsensus
+from repro.core.stack import ProtocolFactory
+
+
+class AlwaysZeroBinaryConsensus(BinaryConsensus):
+    """Always proposes and pushes 0, trying to impose a zero decision.
+
+    Note that pushing 0 at *every* step would often be filtered by the
+    congruence validation of correct processes; the attack stays within
+    the accepted envelope whenever possible by lying only at the value
+    level (the paper: "it always proposes zero").
+    """
+
+    def _step_value(self, round_number: int, step: int, computed: Any) -> Any:
+        return 0
+
+
+class RandomBitBinaryConsensus(BinaryConsensus):
+    """Broadcasts random bits at every step -- pure noise injection."""
+
+    def _step_value(self, round_number: int, step: int, computed: Any) -> Any:
+        return self.stack.rng.getrandbits(1)
+
+
+class CrashOnProposeBinaryConsensus(BinaryConsensus):
+    """Goes mute the moment consensus starts (a targeted omission fault)."""
+
+    def propose(self, value: int) -> None:
+        self.proposal = value  # swallow: never broadcast, never answer
+
+
+class DefaultValueMultiValuedConsensus(MultiValuedConsensus):
+    """Pushes the default value ⊥ in both INIT and VECT (Section 4.2),
+    trying to force correct processes to decide ⊥."""
+
+    def _init_value(self, computed: Any) -> Any:
+        return None
+
+    def _vect_payload(self, value: Any, justification: list[Any]) -> list[Any]:
+        return [None, None]
+
+
+def byzantine_paper_faultload(factory: ProtocolFactory) -> ProtocolFactory:
+    """The exact Byzantine faultload of Section 4.2: zero at the binary
+    consensus layer, ⊥ at the multi-valued consensus layer."""
+    return factory.override("bc", AlwaysZeroBinaryConsensus).override(
+        "mvc", DefaultValueMultiValuedConsensus
+    )
+
+
+def random_noise_faultload(factory: ProtocolFactory) -> ProtocolFactory:
+    """A noisier attacker: random bits into every binary consensus step."""
+    return factory.override("bc", RandomBitBinaryConsensus)
+
+
+def crash_consensus_faultload(factory: ProtocolFactory) -> ProtocolFactory:
+    """An omission attacker that participates in broadcasts but never in
+    consensus."""
+    return factory.override("bc", CrashOnProposeBinaryConsensus)

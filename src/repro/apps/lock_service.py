@@ -1,0 +1,119 @@
+"""An intrusion-tolerant distributed lock service.
+
+Locks are the textbook coordination primitive that *cannot* be built
+safely on asynchronous point-to-point messaging alone; on top of atomic
+broadcast they are a page of deterministic state-machine logic.  Each
+lock is a FIFO wait queue: ``acquire`` either grants immediately or
+enqueues; ``release`` passes the lock to the next waiter.  Because the
+queue transitions are totally ordered, every correct replica agrees on
+the holder at every log position -- regardless of f Byzantine replicas
+(which can at worst acquire/release locks they own, like any client).
+
+Holders are identified as ``(replica, client_tag)`` so independent
+clients multiplexed over one replica don't shadow each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.apps.state_machine import Command, ReplicatedStateMachine
+from repro.core.atomic_broadcast import AtomicBroadcast
+
+#: (replica id, client tag)
+Holder = tuple[int, str]
+
+
+@dataclass
+class _LockState:
+    holder: Holder | None = None
+    waiters: list[Holder] = field(default_factory=list)
+
+
+def _apply_lock(state: dict[str, _LockState], command: Command) -> tuple[dict, Any]:
+    if len(command.args) != 3 or not all(
+        isinstance(arg, expected)
+        for arg, expected in zip(command.args, (str, int, str))
+    ):
+        return state, None  # ill-typed (corrupt replica): deterministic no-op
+    name, replica, tag = command.args
+    holder: Holder = (replica, tag)
+    lock = state.setdefault(name, _LockState())
+    if command.op == "acquire":
+        if lock.holder is None:
+            lock.holder = holder
+            return state, ("granted", holder)
+        if lock.holder == holder or holder in lock.waiters:
+            return state, ("already", lock.holder)
+        lock.waiters.append(holder)
+        return state, ("queued", lock.holder)
+    if command.op == "release":
+        if lock.holder != holder:
+            return state, ("not-holder", lock.holder)
+        lock.holder = lock.waiters.pop(0) if lock.waiters else None
+        return state, ("released", lock.holder)
+    return state, None
+
+
+class DistributedLockService:
+    """One replica's view of the replicated lock table."""
+
+    def __init__(self, ab: AtomicBroadcast):
+        self._rsm = ReplicatedStateMachine(ab, _apply_lock, initial_state={})
+        self._rsm.on_applied = self._on_applied
+        #: Called with (lock name, holder) whenever a *local* client is
+        #: granted a lock (immediately or after waiting).
+        self.on_granted: Callable[[str, Holder], None] | None = None
+
+    @property
+    def rsm(self) -> ReplicatedStateMachine:
+        return self._rsm
+
+    @property
+    def replica_id(self) -> int:
+        return self._rsm.replica_id
+
+    # -- requests (replicated) -----------------------------------------------------
+
+    def acquire(self, name: str, client_tag: str = "default") -> None:
+        """Request *name*; granted now or when earlier holders release."""
+        self._rsm.submit(Command("acquire", [name, self.replica_id, client_tag]))
+
+    def release(self, name: str, client_tag: str = "default") -> None:
+        self._rsm.submit(Command("release", [name, self.replica_id, client_tag]))
+
+    # -- local reads ------------------------------------------------------------------
+
+    def holder(self, name: str) -> Holder | None:
+        lock = self._rsm.state.get(name)
+        return lock.holder if lock else None
+
+    def waiters(self, name: str) -> list[Holder]:
+        lock = self._rsm.state.get(name)
+        return list(lock.waiters) if lock else []
+
+    def held_by_me(self, name: str, client_tag: str = "default") -> bool:
+        return self.holder(name) == (self.replica_id, client_tag)
+
+    def locks(self) -> list[str]:
+        return sorted(
+            name for name, lock in self._rsm.state.items() if lock.holder is not None
+        )
+
+    # -- grant notifications -------------------------------------------------------------
+
+    def _on_applied(self, delivery, command: Command, result: Any) -> None:
+        """Fire :attr:`on_granted` when a local client gains a lock --
+        either its own acquire being granted, or someone's release
+        handing the lock over to our queued request."""
+        if self.on_granted is None or result is None:
+            return
+        status, holder = result
+        name = str(command.args[0]) if command.args else ""
+        if command.op == "acquire" and status == "granted":
+            if holder[0] == self.replica_id:
+                self.on_granted(name, holder)
+        elif command.op == "release" and status == "released":
+            if holder is not None and tuple(holder)[0] == self.replica_id:
+                self.on_granted(name, tuple(holder))

@@ -1,0 +1,127 @@
+"""``ritas-node`` -- run one replica of the replicated KV store.
+
+Operator-facing entry point tying the deployment pieces together: a
+group descriptor, a provisioned key file, the TCP transport, and the
+replicated key-value store.  Commands arrive on stdin::
+
+    ritas-node group.json keys/process-0.keys.json
+    > put motd hello
+    > get motd
+    hello
+    > keys
+    motd
+    > digest
+    1f2e...
+    > quit
+
+Start one instance per key file (on the hosts the descriptor names) and
+watch writes replicate.  Up to f = ⌊(n−1)/3⌋ replicas may crash or
+misbehave arbitrarily.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+from repro.apps.kv_store import ReplicatedKvStore
+from repro.transport.bootstrap import load_session_config
+from repro.transport.tcp import RitasNode
+
+PROMPT = "> "
+
+
+class NodeShell:
+    """The stdin command loop around one replica."""
+
+    def __init__(self, store: ReplicatedKvStore):
+        self.store = store
+        self.running = True
+
+    def handle(self, line: str) -> str | None:
+        """Execute one command line; returns the reply text."""
+        parts = line.strip().split(None, 2)
+        if not parts:
+            return None
+        command, args = parts[0].lower(), parts[1:]
+        if command == "put" and len(args) == 2:
+            self.store.put(args[0], args[1].encode())
+            return "ok (replicating)"
+        if command == "get" and len(args) == 1:
+            value = self.store.get(args[0])
+            return value.decode(errors="replace") if value is not None else "(nil)"
+        if command in ("del", "delete") and len(args) == 1:
+            self.store.delete(args[0])
+            return "ok (replicating)"
+        if command == "cas" and len(args) == 2:
+            expected_new = args[1].split(None, 1)
+            if len(expected_new) == 2:
+                self.store.cas(args[0], expected_new[0].encode(), expected_new[1].encode())
+                return "ok (replicating)"
+        if command == "keys" and not args:
+            return "\n".join(self.store.keys()) or "(empty)"
+        if command == "digest" and not args:
+            return self.store.state_digest().hex()
+        if command == "log" and not args:
+            entries = self.store.rsm.applied
+            return "\n".join(
+                f"#{d.sequence} from p{d.sender}: {c.op} {c.args!r}"
+                for d, c in entries[-10:]
+            ) or "(empty)"
+        if command in ("quit", "exit") and not args:
+            self.running = False
+            return "bye"
+        return (
+            "commands: put <k> <v> | get <k> | del <k> | cas <k> <old> <new> "
+            "| keys | digest | log | quit"
+        )
+
+
+async def run_node(descriptor: Path, key_file: Path) -> None:
+    session_config = load_session_config(descriptor, key_file)
+    node = RitasNode(
+        session_config.config,
+        session_config.process_id,
+        session_config.addresses,
+        session_config.keystore,
+    )
+    await node.start()
+    store = ReplicatedKvStore(node.stack.create("ab", ("kv",)))
+    shell = NodeShell(store)
+    print(
+        f"replica p{session_config.process_id} of {session_config.config.n} up "
+        f"(tolerating f={session_config.config.f}); type 'help' for commands",
+        flush=True,
+    )
+    loop = asyncio.get_event_loop()
+    try:
+        while shell.running:
+            print(PROMPT, end="", flush=True)
+            line = await loop.run_in_executor(None, sys.stdin.readline)
+            if not line:
+                break
+            reply = shell.handle(line)
+            if reply is not None:
+                print(reply, flush=True)
+    finally:
+        await node.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ritas-node", description="Run one replicated-KV replica."
+    )
+    parser.add_argument("descriptor", type=Path, help="group descriptor JSON")
+    parser.add_argument("key_file", type=Path, help="this replica's key file")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(run_node(args.descriptor, args.key_file))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

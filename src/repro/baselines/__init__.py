@@ -1,0 +1,18 @@
+"""Baseline protocols the paper compares against (Section 5).
+
+The paper's related work contrasts RITAS with leader-based
+intrusion-tolerant systems -- Rampart orders messages through a leader
+that echo-broadcasts ordering information, which makes ordering cheap
+but leaves the system hostage to leader misbehaviour (detection and
+removal "is very costly in terms of time and requires synchrony
+assumptions").
+
+:class:`SequencerAtomicBroadcast` reproduces that design point so the
+ablation benchmarks can show both sides: lower latency than the
+consensus-based protocol when the leader is correct, and a total
+liveness loss when the leader crashes (where RITAS keeps delivering).
+"""
+
+from repro.baselines.sequencer import SequencerAtomicBroadcast, with_sequencer
+
+__all__ = ["SequencerAtomicBroadcast", "with_sequencer"]

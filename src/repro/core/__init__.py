@@ -1,0 +1,66 @@
+"""The RITAS protocol stack -- the paper's primary contribution.
+
+Layer map (bottom to top), mirroring Figure 1 of the paper:
+
+========================  ==========================================
+Module                    Protocol
+========================  ==========================================
+``stack``                 RITAS channel: ids, demux, control blocks
+``reliable_broadcast``    Bracha reliable broadcast
+``echo_broadcast``        matrix echo broadcast
+``binary_consensus``      randomized (Ben-Or/Bracha) binary consensus
+``multivalued_consensus`` multi-valued consensus
+``vector_consensus``      vector consensus
+``atomic_broadcast``      atomic broadcast (total order)
+========================  ==========================================
+
+All protocols are sans-IO control blocks executed by a runtime from
+:mod:`repro.net` (simulation) or :mod:`repro.transport` (real TCP).
+"""
+
+from repro.core.atomic_broadcast import AbDelivery, AtomicBroadcast
+from repro.core.binary_consensus import BinaryConsensus
+from repro.core.config import GroupConfig, max_faulty
+from repro.core.echo_broadcast import EchoBroadcast
+from repro.core.errors import (
+    ConfigurationError,
+    InstanceDestroyedError,
+    ProtocolStallError,
+    ProtocolViolationError,
+    RitasError,
+    WireFormatError,
+)
+from repro.core.mbuf import Mbuf
+from repro.core.multivalued_consensus import MultiValuedConsensus
+from repro.core.ooc import OocTable
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.stack import ControlBlock, ProtocolFactory, Stack
+from repro.core.stats import PURPOSE_AGREEMENT, PURPOSE_APP, PURPOSE_PAYLOAD, StackStats
+from repro.core.vector_consensus import VectorConsensus
+
+__all__ = [
+    "AbDelivery",
+    "AtomicBroadcast",
+    "BinaryConsensus",
+    "ConfigurationError",
+    "ControlBlock",
+    "EchoBroadcast",
+    "GroupConfig",
+    "InstanceDestroyedError",
+    "Mbuf",
+    "MultiValuedConsensus",
+    "OocTable",
+    "ProtocolFactory",
+    "ProtocolStallError",
+    "ProtocolViolationError",
+    "PURPOSE_AGREEMENT",
+    "PURPOSE_APP",
+    "PURPOSE_PAYLOAD",
+    "ReliableBroadcast",
+    "RitasError",
+    "Stack",
+    "StackStats",
+    "VectorConsensus",
+    "WireFormatError",
+    "max_faulty",
+]

@@ -1,0 +1,340 @@
+"""Atomic broadcast (Section 2.7 of the paper).
+
+Reliable broadcast plus *total order*: every correct process delivers
+the same messages in the same order.  The implementation follows the
+paper's optimized variant of Correia et al.'s protocol: agreement runs
+on compact *message identifiers* ``(sender, rbid)`` instead of
+cryptographic hashes, and uses multi-valued consensus directly instead
+of vector consensus.
+
+Two conceptual tasks:
+
+1. **Broadcast** -- to A-broadcast *m*, a process reliably broadcasts
+   ``(AB_MSG, i, rbid, m)``; the pair ``(i, rbid)`` identifies *m*
+   system-wide.
+2. **Agreement** -- in rounds: each process reliably broadcasts
+   ``(AB_VECT, i, r, V_i)`` with the identifiers it has received but not
+   yet delivered; after ``n - f`` such vectors it builds ``W_i``, the
+   identifiers present in ``f + 1`` or more of them (so every chosen
+   identifier was vouched for by a correct process and its payload is
+   guaranteed to arrive), and proposes ``W_i`` to multi-valued
+   consensus.  A non-⊥ decision is delivered in deterministic
+   (sender, rbid) order.
+
+The batching is what makes the protocol cheap at high load: one
+agreement orders every message that arrived while the previous
+agreement ran, so the relative cost of agreement *dilutes* as bursts
+grow (Figure 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ProtocolViolationError
+from repro.core.mbuf import Mbuf
+from repro.core.stack import ControlBlock, Stack
+from repro.core.stats import PURPOSE_AGREEMENT, PURPOSE_PAYLOAD
+from repro.core.wire import Path
+
+#: (sender pid, sender-local broadcast id)
+MsgId = tuple[int, int]
+
+#: Defensive cap on identifiers accepted in one AB_VECT: a corrupt
+#: process must not be able to blow up memory with one giant vector.
+MAX_VECT_IDS = 65536
+
+
+@dataclass(frozen=True, slots=True)
+class AbDelivery:
+    """One totally-ordered delivery handed to the application."""
+
+    sender: int
+    rbid: int
+    payload: Any
+    sequence: int
+
+    @property
+    def msg_id(self) -> MsgId:
+        return (self.sender, self.rbid)
+
+
+class AtomicBroadcast(ControlBlock):
+    """One atomic broadcast group session."""
+
+    protocol = "ab"
+
+    def __init__(
+        self,
+        stack: Stack,
+        path: Path,
+        parent: ControlBlock | None = None,
+        purpose: str | None = None,
+        *,
+        msg_window: int = 65536,
+        gc_rounds: int | None = None,
+    ):
+        """*gc_rounds*: when set, protocol instances belonging to
+        agreement rounds more than this many rounds in the past are
+        destroyed, bounding memory on long-running sessions.  Keep it
+        >= 2 so that stragglers still inside an old round's broadcasts
+        can finish; ``None`` (the default) never collects."""
+        super().__init__(stack, path, parent, purpose)
+        if gc_rounds is not None and gc_rounds < 2:
+            raise ValueError("gc_rounds must be >= 2 (or None)")
+        self._next_rbid = 0
+        self._msg_window = msg_window
+        self._gc_rounds = gc_rounds
+        self._open_msg_instances: dict[int, int] = {}
+        self._received: dict[MsgId, Any] = {}
+        self._scheduled: set[MsgId] = set()
+        self._delivered_ids: set[MsgId] = set()
+        self._delivered_count = 0
+        self._delivery_queue: deque[MsgId] = deque()
+        self._round = 0
+        self._round_vects: dict[int, dict[int, list[MsgId]]] = {}
+        self._vect_sent: set[int] = set()
+        self._mvc_proposed: set[int] = set()
+        self._collectable: deque[tuple[int, MsgId]] = deque()
+        self._gc_floor = 0  # lowest round whose instances still exist
+        self.agreements_started = 0
+        self.agreements_empty = 0
+        self._ensure_vect_instances(0)
+
+    # -- public API -----------------------------------------------------------------
+
+    def broadcast(self, payload: Any) -> MsgId:
+        """Atomically broadcast *payload*; returns its system-wide id.
+
+        The message is delivered through :attr:`on_deliver` (in total
+        order, at every correct process) -- not returned here.
+        """
+        rbid = self._next_rbid
+        self._next_rbid += 1
+        rb = self.make_child(
+            "rb", ("msg", self.me, rbid), sender=self.me, purpose=PURPOSE_PAYLOAD
+        )
+        rb.broadcast(payload)  # type: ignore[attr-defined]
+        return (self.me, rbid)
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered_count
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    # -- instance management -------------------------------------------------------------
+
+    def _ensure_vect_instances(self, round_number: int) -> None:
+        for j in self.config.process_ids:
+            path = self.path + ("vect", round_number, j)
+            if path not in self.children:
+                self.make_child(
+                    "rb", ("vect", round_number, j), sender=j, purpose=PURPOSE_AGREEMENT
+                )
+
+    def accept_orphan(self, mbuf: Mbuf) -> bool:
+        """Create receiver-side instances on demand (dynamic demux).
+
+        AB_MSG identifiers are not knowable in advance, so the reliable
+        broadcast instance for a peer's ``(sender, rbid)`` is created on
+        first contact -- subject to a per-sender window that stops a
+        corrupt process from minting unbounded instances.
+        """
+        suffix = mbuf.path[len(self.path) :]
+        if len(suffix) == 3 and suffix[0] == "msg":
+            _, sender, rbid = suffix
+            if (
+                isinstance(sender, int)
+                and isinstance(rbid, int)
+                and sender in self.config.process_ids
+                and rbid >= 0
+                and (sender, rbid) not in self._delivered_ids
+                and self._open_msg_instances.get(sender, 0) < self._msg_window
+            ):
+                self._open_msg_instances[sender] = (
+                    self._open_msg_instances.get(sender, 0) + 1
+                )
+                self.make_child(
+                    "rb", ("msg", sender, rbid), sender=sender, purpose=PURPOSE_PAYLOAD
+                )
+                return True
+            return False
+        if len(suffix) == 3 and suffix[0] == "vect":
+            _, round_number, sender = suffix
+            if round_number == self._round and sender in self.config.process_ids:
+                self._ensure_vect_instances(round_number)
+                return True
+        return False
+
+    # -- receiving ---------------------------------------------------------------------------
+
+    def input(self, mbuf: Mbuf) -> None:
+        raise ProtocolViolationError("atomic broadcast accepts no direct frames")
+
+    def child_event(self, child: ControlBlock, event: Any) -> None:
+        if self.destroyed:
+            return
+        kind = child.path[len(self.path)]
+        if kind == "msg":
+            sender, rbid = child.path[-2:]
+            msg_id = (sender, rbid)
+            if msg_id not in self._received and msg_id not in self._delivered_ids:
+                self._received[msg_id] = event
+                self._drain_delivery_queue()
+                self._maybe_start_round()
+        elif kind == "vect":
+            round_number, sender = child.path[-2:]
+            self._on_vect(round_number, sender, event)
+        elif kind == "mvc":
+            self._on_agreement(child.path[-1], event)
+
+    def _on_vect(self, round_number: int, sender: int, payload: Any) -> None:
+        ids = self._parse_id_list(payload)
+        if ids is None:
+            return  # malformed vector from a corrupt process
+        vects = self._round_vects.setdefault(round_number, {})
+        if sender in vects:
+            return
+        vects[sender] = ids
+        self._maybe_start_round()
+        self._maybe_propose(round_number)
+
+    def _parse_id_list(self, payload: Any) -> list[MsgId] | None:
+        if not isinstance(payload, list) or len(payload) > MAX_VECT_IDS:
+            return None
+        ids: list[MsgId] = []
+        seen: set[MsgId] = set()
+        for entry in payload:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], int)
+                or not isinstance(entry[1], int)
+                or entry[0] not in self.config.process_ids
+                or entry[1] < 0
+            ):
+                return None
+            msg_id = (entry[0], entry[1])
+            if msg_id in seen:
+                return None
+            seen.add(msg_id)
+            ids.append(msg_id)
+        return ids
+
+    # -- the agreement task -------------------------------------------------------------------
+
+    def _pending_ids(self) -> list[MsgId]:
+        return sorted(
+            msg_id for msg_id in self._received if msg_id not in self._scheduled
+        )
+
+    def _maybe_start_round(self) -> None:
+        """Send our AB_VECT for the current round once there is a reason to:
+        we hold undelivered messages, or a peer opened the round."""
+        round_number = self._round
+        if round_number in self._vect_sent:
+            return
+        pending = self._pending_ids()
+        if not pending and not self._round_vects.get(round_number):
+            return
+        self._vect_sent.add(round_number)
+        self._ensure_vect_instances(round_number)
+        rb = self.children[self.path + ("vect", round_number, self.me)]
+        rb.broadcast([[s, r] for s, r in pending])  # type: ignore[attr-defined]
+        self._maybe_propose(round_number)
+
+    def _maybe_propose(self, round_number: int) -> None:
+        if (
+            round_number != self._round
+            or round_number in self._mvc_proposed
+            or round_number not in self._vect_sent
+        ):
+            return
+        vects = self._round_vects.get(round_number, {})
+        if len(vects) < self.config.wait_quorum:
+            return
+        self._mvc_proposed.add(round_number)
+        support: dict[MsgId, int] = {}
+        for ids in vects.values():
+            for msg_id in ids:
+                support[msg_id] = support.get(msg_id, 0) + 1
+        threshold = self.config.f + 1
+        chosen = sorted(
+            msg_id
+            for msg_id, votes in support.items()
+            if votes >= threshold and msg_id not in self._scheduled
+        )
+        self.agreements_started += 1
+        mvc = self.make_child("mvc", ("mvc", round_number), purpose=PURPOSE_AGREEMENT)
+        mvc.propose([[s, r] for s, r in chosen])  # type: ignore[attr-defined]
+
+    def _on_agreement(self, round_number: int, decision: Any) -> None:
+        if round_number != self._round:
+            return
+        ids = self._parse_id_list(decision) if decision is not None else None
+        if ids:
+            for msg_id in sorted(ids):
+                if msg_id not in self._scheduled:
+                    self._scheduled.add(msg_id)
+                    self._delivery_queue.append(msg_id)
+        else:
+            self.agreements_empty += 1
+        self._round += 1
+        self._ensure_vect_instances(self._round)
+        self._drain_delivery_queue()
+        if self._gc_rounds is not None:
+            self._collect(self._round - 1 - self._gc_rounds)
+        self._maybe_start_round()
+
+    def _drain_delivery_queue(self) -> None:
+        """Deliver scheduled messages whose payload has arrived, strictly
+        in queue order (total order requires the head to block the rest)."""
+        while self._delivery_queue:
+            msg_id = self._delivery_queue[0]
+            if msg_id not in self._received:
+                return
+            self._delivery_queue.popleft()
+            payload = self._received[msg_id]
+            self._delivered_ids.add(msg_id)
+            if self._gc_rounds is not None:
+                del self._received[msg_id]
+                self._collectable.append((self._round, msg_id))
+            delivery = AbDelivery(
+                sender=msg_id[0],
+                rbid=msg_id[1],
+                payload=payload,
+                sequence=self._delivered_count,
+            )
+            self._delivered_count += 1
+            self.deliver(delivery)
+
+    def _collect(self, horizon: int) -> None:
+        """Destroy protocol instances for rounds at or before *horizon*."""
+        if horizon < 0:
+            return
+        for round_number in [r for r in self._round_vects if r <= horizon]:
+            del self._round_vects[round_number]
+        self._vect_sent = {r for r in self._vect_sent if r > horizon}
+        self._mvc_proposed = {r for r in self._mvc_proposed if r > horizon}
+        for round_number in range(self._gc_floor, horizon + 1):
+            mvc = self.children.get(self.path + ("mvc", round_number))
+            if mvc is not None:
+                mvc.destroy()
+            for j in self.config.process_ids:
+                vect = self.children.get(self.path + ("vect", round_number, j))
+                if vect is not None:
+                    vect.destroy()
+        self._gc_floor = max(self._gc_floor, horizon + 1)
+        while self._collectable and self._collectable[0][0] <= horizon:
+            _, msg_id = self._collectable.popleft()
+            rb = self.children.get(self.path + ("msg",) + msg_id)
+            if rb is not None:
+                rb.destroy()
+                sender = msg_id[0]
+                if self._open_msg_instances.get(sender, 0) > 0:
+                    self._open_msg_instances[sender] -= 1

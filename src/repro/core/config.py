@@ -1,0 +1,93 @@
+"""Process-group configuration shared by every protocol instance.
+
+Section 2 of the paper: the system is a group of *n* processes
+``P = {p_0 .. p_{n-1}}`` of which at most ``f = floor((n-1)/3)`` may be
+corrupt, hence ``n >= 3f + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+
+def max_faulty(num_processes: int) -> int:
+    """Optimal resilience: ``f = floor((n-1)/3)``."""
+    return (num_processes - 1) // 3
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """Static description of the process group.
+
+    Attributes:
+        num_processes: total number of processes, *n*.
+        num_faulty: number of tolerated corrupt processes, *f*.  Defaults
+            to the optimal ``floor((n-1)/3)``; a smaller value may be
+            configured (a *larger* one violates ``n >= 3f+1`` and is
+            rejected).
+    """
+
+    num_processes: int
+    num_faulty: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1:
+            raise ConfigurationError("group needs at least one process")
+        if self.num_faulty == -1:
+            object.__setattr__(self, "num_faulty", max_faulty(self.num_processes))
+        if self.num_faulty < 0:
+            raise ConfigurationError("num_faulty must be non-negative")
+        if self.num_processes < 3 * self.num_faulty + 1:
+            raise ConfigurationError(
+                f"n={self.num_processes} cannot tolerate f={self.num_faulty}: "
+                "Byzantine resilience requires n >= 3f + 1"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.num_processes
+
+    @property
+    def f(self) -> int:
+        return self.num_faulty
+
+    @property
+    def process_ids(self) -> range:
+        return range(self.num_processes)
+
+    # -- quorum thresholds used across the stack ----------------------------
+
+    @property
+    def echo_quorum(self) -> int:
+        """Reliable broadcast: ECHOs needed before sending READY,
+        ``floor((n+f)/2) + 1``."""
+        return (self.n + self.f) // 2 + 1
+
+    @property
+    def ready_amplify(self) -> int:
+        """Reliable broadcast: READYs that substitute for the ECHO quorum,
+        ``f + 1`` (at least one from a correct process)."""
+        return self.f + 1
+
+    @property
+    def ready_quorum(self) -> int:
+        """Reliable broadcast: READYs needed to deliver, ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def wait_quorum(self) -> int:
+        """Messages a process can safely wait for, ``n - f``."""
+        return self.n - self.f
+
+    @property
+    def value_quorum(self) -> int:
+        """Multi-valued consensus: identical values needed to back a
+        proposal, ``n - 2f``."""
+        return self.n - 2 * self.f
+
+    @property
+    def mat_quorum(self) -> int:
+        """Echo broadcast: correct MAC entries needed to deliver, ``f + 1``."""
+        return self.f + 1

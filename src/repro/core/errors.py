@@ -1,0 +1,42 @@
+"""Exception hierarchy for the RITAS stack."""
+
+from __future__ import annotations
+
+
+class RitasError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(RitasError):
+    """A group or stack was configured inconsistently (e.g. n < 3f+1)."""
+
+
+class WireFormatError(RitasError):
+    """An incoming frame could not be decoded.
+
+    Malformed frames from peers are *reported*, never trusted: the stack
+    catches this error, records the offender in the statistics and drops
+    the frame -- a corrupt process must not be able to crash a correct
+    one by sending garbage.
+    """
+
+
+class ProtocolViolationError(RitasError):
+    """A peer's message violates the protocol in a detectable way.
+
+    Like :class:`WireFormatError`, this is caught at the routing layer and
+    converted into a drop + statistics entry.
+    """
+
+
+class InstanceDestroyedError(RitasError):
+    """An operation was attempted on a destroyed protocol instance."""
+
+
+class ProtocolStallError(RitasError):
+    """A protocol exhausted a bound theory says it cannot exhaust.
+
+    Raised, for instance, if vector consensus runs past its round cap
+    ``f`` (see the liveness caveats in DESIGN.md); surfacing the
+    diagnostic beats hanging forever.
+    """

@@ -1,0 +1,45 @@
+"""Message buffers (*mbufs*) -- the unit of exchange between layers.
+
+Modeled on the data structure of the same name in the original C
+implementation (itself inspired by the Net/3 kernel): one mbuf holds
+exactly one message plus the metadata the stack needs to route and
+account for it.  Layers communicate by passing mbuf references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.wire import Path
+
+
+@dataclass(slots=True)
+class Mbuf:
+    """One in-flight message.
+
+    Attributes:
+        src: process id of the sender (as reported by the reliable
+            channel, which authenticates the link -- a corrupt process
+            cannot spoof another's id).
+        path: protocol-instance path the message is addressed to.
+        mtype: protocol-specific message kind.
+        payload: decoded structured payload.
+        wire_size: size in bytes of the encoded frame, excluding
+            transport headers; used by the network model and statistics.
+        recv_time: local clock value when the frame was received, or
+            ``None`` for locally originated mbufs.
+    """
+
+    src: int
+    path: Path
+    mtype: int
+    payload: Any
+    wire_size: int = 0
+    recv_time: float | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Short human-readable summary, for logs and assertion messages."""
+        path = "/".join(str(c) for c in self.path)
+        return f"mbuf(src=p{self.src}, path={path}, mtype={self.mtype}, {self.wire_size}B)"

@@ -1,0 +1,87 @@
+"""Out-of-context (OOC) message storage.
+
+Section 3.4 of the paper: the stack is asynchronous, so correct messages
+can arrive addressed to protocol instances whose control block does not
+exist yet.  Such messages are parked in a hash table and delivered when
+the instance is created; when an instance is destroyed, its pending OOC
+messages are purged so nothing lingers forever.
+
+The table is bounded (a corrupt process could otherwise exhaust memory
+by flooding frames for instances that will never exist); when full, the
+oldest entry is evicted FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.mbuf import Mbuf
+from repro.core.wire import Path
+
+DEFAULT_CAPACITY = 65536
+
+
+class OocTable:
+    """Bounded store of messages awaiting their protocol instance."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("OOC table capacity must be positive")
+        self._capacity = capacity
+        # Insertion-ordered so eviction is oldest-first.
+        self._by_path: OrderedDict[Path, list[Mbuf]] = OrderedDict()
+        self._size = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def store(self, mbuf: Mbuf) -> None:
+        """Park *mbuf* until an instance for its path appears."""
+        while self._size >= self._capacity:
+            self._evict_oldest()
+        bucket = self._by_path.get(mbuf.path)
+        if bucket is None:
+            bucket = []
+            self._by_path[mbuf.path] = bucket
+        bucket.append(mbuf)
+        self._size += 1
+
+    def _evict_oldest(self) -> None:
+        path, bucket = next(iter(self._by_path.items()))
+        bucket.pop(0)
+        self._size -= 1
+        self.evictions += 1
+        if not bucket:
+            del self._by_path[path]
+
+    def has_prefix(self, prefix: Path) -> bool:
+        """True if any parked message's path starts with *prefix*."""
+        return any(p[: len(prefix)] == prefix for p in self._by_path)
+
+    def drain_prefix(self, prefix: Path) -> list[Mbuf]:
+        """Remove and return all messages whose path starts with *prefix*.
+
+        Called when an instance registers: messages addressed to it (or to
+        descendants it may create) are re-routed through the stack.
+        """
+        matches = [p for p in self._by_path if p[: len(prefix)] == prefix]
+        drained: list[Mbuf] = []
+        for path in matches:
+            bucket = self._by_path.pop(path)
+            drained.extend(bucket)
+            self._size -= len(bucket)
+        return drained
+
+    def purge_prefix(self, prefix: Path) -> int:
+        """Drop all messages under *prefix*; returns how many were dropped.
+
+        Called when an instance is destroyed (Section 3.4: "upon the
+        destruction of a protocol, the hash table is checked and all the
+        relevant messages are deleted").
+        """
+        return len(self.drain_prefix(prefix))
+
+    def pending_paths(self) -> list[Path]:
+        """Paths with parked messages (test/diagnostic helper)."""
+        return list(self._by_path)

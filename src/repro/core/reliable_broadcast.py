@@ -1,0 +1,144 @@
+"""Bracha's reliable broadcast (Section 2.2 of the paper).
+
+Guarantees, with up to ``f = floor((n-1)/3)`` Byzantine processes:
+
+1. all correct processes deliver the same message (or none);
+2. if the sender is correct, the message is delivered.
+
+Protocol, for sender *s* and message *m*:
+
+- *s* sends ``(INIT, m)`` to all;
+- on ``INIT``, a process sends ``(ECHO, m)`` to all;
+- on ``floor((n+f)/2)+1`` ECHOs *or* ``f+1`` READYs for the same *m*, a
+  process sends ``(READY, m)`` to all (once);
+- on ``2f+1`` READYs for the same *m*, it delivers *m*.
+
+One :class:`ReliableBroadcast` control block handles one broadcast by
+one sender.  Equivocation (a corrupt sender or echoer sending different
+messages to different processes) is handled by counting ECHO/READY
+support per message digest and per source process.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import ProtocolViolationError
+from repro.core.mbuf import Mbuf
+from repro.core.stack import ControlBlock, Stack
+from repro.core.trace import KIND_BROADCAST
+from repro.core.wire import Path, encode_value
+from repro.crypto.hashing import hash_bytes
+
+MSG_INIT = 0
+MSG_ECHO = 1
+MSG_READY = 2
+
+
+class ReliableBroadcast(ControlBlock):
+    """One Bracha broadcast instance (one sender, one message)."""
+
+    protocol = "rb"
+
+    def __init__(
+        self,
+        stack: Stack,
+        path: Path,
+        parent: ControlBlock | None = None,
+        purpose: str | None = None,
+        *,
+        sender: int,
+    ):
+        super().__init__(stack, path, parent, purpose)
+        if sender not in self.config.process_ids:
+            raise ValueError(f"sender {sender} not in group")
+        self.sender = sender
+        self.delivered = False
+        self.delivered_value: Any = None
+        self._init_seen = False
+        self._echo_sent = False
+        self._ready_sent = False
+        # digest -> payload (kept so delivery can hand the value up).
+        self._payloads: dict[bytes, Any] = {}
+        # digest -> set of source pids, one vote per source per phase.
+        self._echoes: dict[bytes, set[int]] = {}
+        self._readies: dict[bytes, set[int]] = {}
+        # Sources already counted in each phase (equivocation guard).
+        self._echo_sources: set[int] = set()
+        self._ready_sources: set[int] = set()
+
+    # -- sending ----------------------------------------------------------------
+
+    def broadcast(self, payload: Any) -> None:
+        """Start the broadcast.  Only the designated sender may call this."""
+        if self.me != self.sender:
+            raise ProtocolViolationError(
+                f"p{self.me} cannot broadcast on instance owned by p{self.sender}"
+            )
+        self.stack.stats.record_broadcast(self.protocol, self.purpose)
+        if self.stack.tracer.enabled:
+            self.stack.tracer.emit(
+                self.me, KIND_BROADCAST, self.path, protocol=self.protocol
+            )
+        self.send_all(MSG_INIT, payload)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def input(self, mbuf: Mbuf) -> None:
+        if self.destroyed:
+            return
+        if mbuf.mtype == MSG_INIT:
+            self._on_init(mbuf)
+        elif mbuf.mtype == MSG_ECHO:
+            self._on_echo(mbuf)
+        elif mbuf.mtype == MSG_READY:
+            self._on_ready(mbuf)
+        else:
+            raise ProtocolViolationError(f"unknown rb mtype {mbuf.mtype}")
+
+    def _on_init(self, mbuf: Mbuf) -> None:
+        if mbuf.src != self.sender:
+            raise ProtocolViolationError(
+                f"INIT from p{mbuf.src} on broadcast owned by p{self.sender}"
+            )
+        if self._init_seen:
+            return  # duplicate / equivocating INIT: only the first counts
+        self._init_seen = True
+        if not self._echo_sent:
+            self._echo_sent = True
+            self.send_all(MSG_ECHO, mbuf.payload)
+
+    def _on_echo(self, mbuf: Mbuf) -> None:
+        if mbuf.src in self._echo_sources:
+            return
+        self._echo_sources.add(mbuf.src)
+        digest = self._digest_of(mbuf.payload)
+        self._echoes.setdefault(digest, set()).add(mbuf.src)
+        self._check_progress(digest)
+
+    def _on_ready(self, mbuf: Mbuf) -> None:
+        if mbuf.src in self._ready_sources:
+            return
+        self._ready_sources.add(mbuf.src)
+        digest = self._digest_of(mbuf.payload)
+        self._readies.setdefault(digest, set()).add(mbuf.src)
+        self._check_progress(digest)
+
+    def _digest_of(self, payload: Any) -> bytes:
+        digest = hash_bytes(encode_value(payload))
+        self._payloads.setdefault(digest, payload)
+        return digest
+
+    def _check_progress(self, digest: bytes) -> None:
+        cfg = self.config
+        echoes = len(self._echoes.get(digest, ()))
+        readies = len(self._readies.get(digest, ()))
+        if not self._ready_sent and (
+            echoes >= cfg.echo_quorum or readies >= cfg.ready_amplify
+        ):
+            self._ready_sent = True
+            self.send_all(MSG_READY, self._payloads[digest])
+        if not self.delivered and readies >= cfg.ready_quorum:
+            self.delivered = True
+            self.delivered_value = self._payloads[digest]
+            self.deliver(self.delivered_value)

@@ -1,0 +1,448 @@
+"""The RITAS stack: control blocks, chaining, routing and demultiplexing.
+
+This module is the Python equivalent of the paper's Section 3 machinery:
+
+- :class:`ControlBlock` -- "holds all the necessary information for an
+  instance of a protocol"; instances form a tree via *control block
+  chaining* (Section 3.3), with the application-created protocol at the
+  root and children created recursively for the primitives it uses.
+- :class:`Stack` -- the per-process runtime context (the C API's
+  ``ritas_t``): it owns the instance registry, encodes/decodes frames,
+  demultiplexes incoming messages by instance path, parks out-of-context
+  messages, and exposes the send primitives.
+
+The stack is **sans-IO**: it never touches a socket or an event loop.
+A runtime (the discrete-event simulator in :mod:`repro.net` or the
+asyncio transport in :mod:`repro.transport`) feeds frames in through
+:meth:`Stack.receive` and carries frames out through the ``outbox``
+callable supplied at construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.core.config import GroupConfig
+from repro.core.errors import (
+    ConfigurationError,
+    InstanceDestroyedError,
+    ProtocolViolationError,
+    WireFormatError,
+)
+from repro.core.mbuf import Mbuf
+from repro.core.ooc import DEFAULT_CAPACITY, OocTable
+from repro.core.stats import PURPOSE_APP, StackStats
+from repro.core.trace import (
+    KIND_CREATE,
+    KIND_DELIVER,
+    KIND_DESTROY,
+    KIND_DROP,
+    KIND_OOC,
+    KIND_RECEIVE,
+    KIND_SEND,
+    NULL_TRACER,
+)
+from repro.core.wire import Path, decode_frame, encode_frame
+from repro.crypto.coin import CoinSource, LocalCoin
+from repro.crypto.keys import KeyStore, TrustedDealer
+
+Outbox = Callable[[int, bytes], None]
+Clock = Callable[[], float]
+DeliverFn = Callable[["ControlBlock", Any], None]
+
+
+class ControlBlock:
+    """Base class for one protocol instance.
+
+    Subclasses implement :meth:`input` (a frame addressed to this
+    instance arrived) and :meth:`child_event` (a child instance delivered
+    a result).  Deliveries travel *up* the tree: a child calls
+    :meth:`deliver`, which invokes the parent's ``child_event`` -- or, at
+    the root, the application callback assigned to :attr:`on_deliver`.
+    """
+
+    #: Short protocol tag used in statistics and logs ("rb", "bc", ...).
+    protocol: str = "?"
+
+    def __init__(
+        self,
+        stack: "Stack",
+        path: Path,
+        parent: "ControlBlock | None" = None,
+        purpose: str | None = None,
+    ):
+        self.stack = stack
+        self.path = path
+        self.parent = parent
+        if purpose is not None:
+            self.purpose = purpose
+        elif parent is not None:
+            self.purpose = parent.purpose
+        else:
+            self.purpose = PURPOSE_APP
+        self.children: dict[Path, ControlBlock] = {}
+        self.on_deliver: DeliverFn | None = None
+        self._destroyed = False
+        if parent is not None:
+            parent.children[path] = self
+        stack._register(self)
+        if stack.tracer.enabled:
+            stack.tracer.emit(stack.process_id, KIND_CREATE, path, protocol=self.protocol)
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def config(self) -> GroupConfig:
+        return self.stack.config
+
+    @property
+    def me(self) -> int:
+        return self.stack.process_id
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    # -- tree management ---------------------------------------------------------
+
+    def make_child(
+        self, kind: str, suffix: tuple, *, purpose: str | None = None, **kwargs: Any
+    ) -> "ControlBlock":
+        """Create a child instance of protocol *kind* under this block.
+
+        The child's path is this block's path extended with *suffix*;
+        its class is resolved through the stack's protocol factory so
+        that fault injection can substitute adversarial variants.
+        """
+        if self._destroyed:
+            raise InstanceDestroyedError(f"cannot create child under destroyed {self.path}")
+        cls = self.stack.factory.resolve(kind)
+        self.stack._begin_construction()
+        try:
+            child = cls(
+                self.stack,
+                self.path + tuple(suffix),
+                parent=self,
+                purpose=purpose,
+                **kwargs,
+            )
+        finally:
+            self.stack._end_construction()
+        return child
+
+    def destroy(self) -> None:
+        """Destroy this instance and, recursively, all its children.
+
+        Mirrors Section 3.3: "a tree (or subtree) of control blocks is
+        automatically destroyed when its root node is eliminated."
+        Pending OOC messages for the subtree are purged (Section 3.4).
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        for child in list(self.children.values()):
+            child.destroy()
+        self.children.clear()
+        if self.parent is not None:
+            self.parent.children.pop(self.path, None)
+        self.stack._unregister(self)
+        if self.stack.tracer.enabled:
+            self.stack.tracer.emit(
+                self.stack.process_id, KIND_DESTROY, self.path, protocol=self.protocol
+            )
+
+    # -- data plane ---------------------------------------------------------------
+
+    def send(self, dest: int, mtype: int, payload: Any) -> None:
+        """Send one frame of this instance to process *dest*."""
+        self.stack.send_frame(dest, self.path, mtype, payload)
+
+    def send_all(self, mtype: int, payload: Any) -> None:
+        """Send one frame of this instance to every process, self included."""
+        for dest in self.config.process_ids:
+            self.stack.send_frame(dest, self.path, mtype, payload)
+
+    def input(self, mbuf: Mbuf) -> None:
+        """Handle a frame addressed to this instance."""
+        raise NotImplementedError
+
+    def accept_orphan(self, mbuf: Mbuf) -> bool:
+        """Offer a frame addressed *below* this instance with no handler.
+
+        A subclass that creates children dynamically (e.g. atomic
+        broadcast creating a reliable-broadcast receiver for a message id
+        it has never seen) inspects ``mbuf.path`` and instantiates the
+        missing child, returning ``True``.  Returning ``False`` parks the
+        frame in the OOC table.
+        """
+        return False
+
+    def child_event(self, child: "ControlBlock", event: Any) -> None:
+        """Handle a delivery from a child instance."""
+
+    def deliver(self, event: Any) -> None:
+        """Deliver *event* to the parent instance or application callback."""
+        if self._destroyed:
+            return
+        if self.stack.tracer.enabled:
+            self.stack.tracer.emit(
+                self.stack.process_id, KIND_DELIVER, self.path, protocol=self.protocol
+            )
+        if self.on_deliver is not None:
+            self.on_deliver(self, event)
+        elif self.parent is not None:
+            self.parent.child_event(self, event)
+
+
+class ProtocolFactory:
+    """Resolves protocol kinds ("rb", "bc", ...) to control-block classes.
+
+    Fault injection replaces entries to make one process run adversarial
+    variants of a layer while the rest of its stack stays honest -- this
+    is how the paper's Byzantine faultload (Section 4.2) is expressed.
+    """
+
+    def __init__(self, registry: dict[str, type[ControlBlock]] | None = None):
+        self._registry: dict[str, type[ControlBlock]] = dict(registry or {})
+
+    @classmethod
+    def default(cls) -> "ProtocolFactory":
+        """Factory with the honest implementation of every layer."""
+        # Imported here to avoid a cycle: protocol modules import this one.
+        from repro.core.atomic_broadcast import AtomicBroadcast
+        from repro.core.binary_consensus import BinaryConsensus
+        from repro.core.echo_broadcast import EchoBroadcast
+        from repro.core.multivalued_consensus import MultiValuedConsensus
+        from repro.core.reliable_broadcast import ReliableBroadcast
+        from repro.core.vector_consensus import VectorConsensus
+
+        return cls(
+            {
+                "rb": ReliableBroadcast,
+                "eb": EchoBroadcast,
+                "bc": BinaryConsensus,
+                "mvc": MultiValuedConsensus,
+                "vc": VectorConsensus,
+                "ab": AtomicBroadcast,
+            }
+        )
+
+    def resolve(self, kind: str) -> type[ControlBlock]:
+        try:
+            return self._registry[kind]
+        except KeyError:
+            raise ConfigurationError(f"no protocol registered for kind {kind!r}") from None
+
+    def override(self, kind: str, cls: type[ControlBlock]) -> "ProtocolFactory":
+        """Return a copy of this factory with *kind* replaced by *cls*."""
+        registry = dict(self._registry)
+        registry[kind] = cls
+        return ProtocolFactory(registry)
+
+    def kinds(self) -> list[str]:
+        return sorted(self._registry)
+
+
+class Stack:
+    """Per-process protocol context (the paper's ``ritas_t``).
+
+    Args:
+        config: the process group description.
+        process_id: this process's id in ``[0, n)``.
+        outbox: callable invoked with ``(dest_pid, frame_bytes)`` for
+            every outgoing frame; supplied by the runtime.
+        keystore: this process's pairwise secret keys.  When omitted, a
+            deterministic dealer keyed on the group size is used -- fine
+            for simulations, not for deployment.
+        coin: random-bit source for binary consensus (default: a local
+            coin over a fresh PRNG).
+        clock: monotonic time source used only for statistics.
+        factory: protocol class registry (default: honest stack).
+        ooc_capacity: bound on parked out-of-context messages.
+    """
+
+    def __init__(
+        self,
+        config: GroupConfig,
+        process_id: int,
+        outbox: Outbox,
+        *,
+        keystore: KeyStore | None = None,
+        coin: CoinSource | None = None,
+        clock: Clock | None = None,
+        factory: ProtocolFactory | None = None,
+        rng: random.Random | None = None,
+        ooc_capacity: int = DEFAULT_CAPACITY,
+    ):
+        if not 0 <= process_id < config.num_processes:
+            raise ConfigurationError(
+                f"process id {process_id} out of range for n={config.num_processes}"
+            )
+        self.config = config
+        self.process_id = process_id
+        self._outbox = outbox
+        if keystore is None:
+            dealer = TrustedDealer(config.num_processes, seed=b"repro-default-dealer")
+            keystore = dealer.keystore_for(process_id)
+        self.keystore = keystore
+        self.rng = rng if rng is not None else random.Random()
+        self.coin: CoinSource = coin if coin is not None else LocalCoin(self.rng)
+        self.clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self.factory = factory if factory is not None else ProtocolFactory.default()
+        self.stats = StackStats()
+        #: Structured event recorder; NULL_TRACER by default (no cost).
+        self.tracer = NULL_TRACER
+        self._registry: dict[Path, ControlBlock] = {}
+        self._ooc = OocTable(ooc_capacity)
+        # Out-of-context frames drained by a registration are replayed
+        # only once the instance tree being built is fully constructed
+        # (a subclass __init__ may still be initializing its state).
+        self._replay: list[Mbuf] = []
+        self._construction_depth = 0
+        self._replaying = False
+
+    # -- instance management -------------------------------------------------------
+
+    def create(self, kind: str, path: Path, **kwargs: Any) -> ControlBlock:
+        """Create a root (application-level) protocol instance."""
+        if path in self._registry:
+            raise ConfigurationError(f"instance already exists at path {path}")
+        cls = self.factory.resolve(kind)
+        self._begin_construction()
+        try:
+            instance = cls(self, tuple(path), parent=None, **kwargs)
+        finally:
+            self._end_construction()
+        return instance
+
+    def instance_at(self, path: Path) -> ControlBlock | None:
+        return self._registry.get(tuple(path))
+
+    def _register(self, block: ControlBlock) -> None:
+        if block.path in self._registry:
+            raise ConfigurationError(f"duplicate instance path {block.path}")
+        self._registry[block.path] = block
+        parked = self._ooc.drain_prefix(block.path)
+        if parked:
+            self.stats.ooc_drained += len(parked)
+            self._replay.extend(parked)
+            self._flush_replay()
+
+    def _begin_construction(self) -> None:
+        self._construction_depth += 1
+
+    def _end_construction(self) -> None:
+        self._construction_depth -= 1
+        if self._construction_depth == 0:
+            self._flush_replay()
+
+    def _flush_replay(self) -> None:
+        if self._replaying or self._construction_depth > 0:
+            return
+        self._replaying = True
+        try:
+            while self._replay:
+                self.route(self._replay.pop(0))
+        finally:
+            self._replaying = False
+
+    def _unregister(self, block: ControlBlock) -> None:
+        self._registry.pop(block.path, None)
+        purged = self._ooc.purge_prefix(block.path)
+        self.stats.ooc_purged += purged
+
+    @property
+    def live_instances(self) -> int:
+        return len(self._registry)
+
+    @property
+    def ooc_pending(self) -> int:
+        return len(self._ooc)
+
+    def ooc_has_prefix(self, prefix: Path) -> bool:
+        """True if out-of-context messages are parked under *prefix*."""
+        return self._ooc.has_prefix(tuple(prefix))
+
+    # -- data plane -----------------------------------------------------------------
+
+    def send_frame(self, dest: int, path: Path, mtype: int, payload: Any) -> None:
+        data = encode_frame(path, mtype, payload)
+        self.stats.record_send(len(data))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.process_id, KIND_SEND, path, dest=dest, mtype=mtype, size=len(data)
+            )
+        self._outbox(dest, data)
+
+    def receive(self, src: int, data: bytes) -> None:
+        """Entry point for the runtime: one frame arrived from *src*.
+
+        The reliable channel authenticates the link, so *src* is
+        trustworthy; everything else in the frame is attacker-controlled
+        and is decoded defensively.
+        """
+        self.stats.record_receive(len(data))
+        try:
+            path, mtype, payload = decode_frame(data)
+        except WireFormatError:
+            self.stats.record_drop("malformed-frame")
+            if self.tracer.enabled:
+                self.tracer.emit(self.process_id, KIND_DROP, (), src=src, reason="malformed")
+            return
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.process_id, KIND_RECEIVE, path, src=src, mtype=mtype, size=len(data)
+            )
+        mbuf = Mbuf(
+            src=src,
+            path=path,
+            mtype=mtype,
+            payload=payload,
+            wire_size=len(data),
+            recv_time=self.clock(),
+        )
+        self.route(mbuf)
+
+    def route(self, mbuf: Mbuf) -> None:
+        """Demultiplex *mbuf* to its instance, or park it out-of-context."""
+        instance = self._registry.get(mbuf.path)
+        if instance is not None:
+            self._input_guarded(instance, mbuf)
+            return
+        # Walk up the path looking for the deepest live ancestor that can
+        # create the missing child (dynamic demultiplexing).
+        for prefix_len in range(len(mbuf.path) - 1, 0, -1):
+            ancestor = self._registry.get(mbuf.path[:prefix_len])
+            if ancestor is None:
+                continue
+            created = False
+            try:
+                created = ancestor.accept_orphan(mbuf)
+            except ProtocolViolationError:
+                self.stats.record_drop("protocol-violation")
+                return
+            if created:
+                instance = self._registry.get(mbuf.path)
+                if instance is not None:
+                    self._input_guarded(instance, mbuf)
+                    return
+            break
+        self._ooc.store(mbuf)
+        self.stats.ooc_stored += 1
+        self.stats.ooc_evicted = self._ooc.evictions
+        if self.tracer.enabled:
+            self.tracer.emit(self.process_id, KIND_OOC, mbuf.path, src=mbuf.src)
+
+    def _input_guarded(self, instance: ControlBlock, mbuf: Mbuf) -> None:
+        try:
+            instance.input(mbuf)
+        except ProtocolViolationError:
+            self.stats.record_drop("protocol-violation")
+
+    # -- randomness -------------------------------------------------------------------
+
+    def toss_coin(self, instance_path: Path, round_number: int) -> int:
+        """Obtain the round coin for a binary-consensus instance."""
+        tag = "/".join(str(c) for c in instance_path).encode()
+        return self.coin.toss(tag, round_number)

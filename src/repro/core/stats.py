@@ -1,0 +1,104 @@
+"""Statistics collected by a running stack.
+
+The evaluation section of the paper reports three kinds of quantities
+that must be observable from outside the protocols:
+
+- frame counts and byte counts (network load, IPSec overhead);
+- *broadcast* counts split by purpose, for Figure 7's "relative cost of
+  agreement" (agreement broadcasts / total broadcasts);
+- round counts for the consensus layers, to check the "always one
+  round" observations of Section 4.3.
+
+Every stack owns one :class:`StackStats`; protocol instances report into
+it through narrow methods so tests can assert on exact counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+#: Purpose tag for broadcasts that carry application payload
+#: (atomic-broadcast AB_MSG transmissions).
+PURPOSE_PAYLOAD = "payload"
+#: Purpose tag for broadcasts executed on behalf of an agreement
+#: (AB_VECT transmissions and everything inside a consensus subtree).
+PURPOSE_AGREEMENT = "agreement"
+#: Default purpose for instances created directly by the application.
+PURPOSE_APP = "app"
+
+
+@dataclass
+class StackStats:
+    """Mutable counters for one process's stack."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    dropped: Counter = field(default_factory=Counter)
+    broadcasts: Counter = field(default_factory=Counter)
+    consensus_rounds: Counter = field(default_factory=Counter)
+    decisions: Counter = field(default_factory=Counter)
+    ooc_stored: int = 0
+    ooc_drained: int = 0
+    ooc_evicted: int = 0
+    ooc_purged: int = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_send(self, nbytes: int) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += nbytes
+
+    def record_receive(self, nbytes: int) -> None:
+        self.frames_received += 1
+        self.bytes_received += nbytes
+
+    def record_drop(self, reason: str) -> None:
+        self.dropped[reason] += 1
+
+    def record_broadcast(self, kind: str, purpose: str) -> None:
+        """Count one locally initiated broadcast of *kind* ('rb' or 'eb')."""
+        self.broadcasts[(kind, purpose)] += 1
+
+    def record_decision(self, protocol: str, rounds: int) -> None:
+        """Record that a consensus instance decided after *rounds* rounds."""
+        self.decisions[protocol] += 1
+        self.consensus_rounds[(protocol, rounds)] += 1
+
+    # -- derived quantities (Figure 7) ----------------------------------------
+
+    def total_broadcasts(self) -> int:
+        return sum(self.broadcasts.values())
+
+    def broadcasts_for(self, purpose: str) -> int:
+        return sum(count for (_, p), count in self.broadcasts.items() if p == purpose)
+
+    def agreement_cost(self) -> float:
+        """Fraction of all broadcasts executed for agreement (Figure 7)."""
+        total = self.total_broadcasts()
+        if total == 0:
+            return 0.0
+        return self.broadcasts_for(PURPOSE_AGREEMENT) / total
+
+    def max_rounds(self, protocol: str) -> int:
+        """Largest round count any instance of *protocol* needed."""
+        rounds = [r for (p, r) in self.consensus_rounds if p == protocol]
+        return max(rounds, default=0)
+
+    def merge(self, other: "StackStats") -> None:
+        """Accumulate *other* into this object (for group-wide totals)."""
+        self.frames_sent += other.frames_sent
+        self.frames_received += other.frames_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.dropped.update(other.dropped)
+        self.broadcasts.update(other.broadcasts)
+        self.consensus_rounds.update(other.consensus_rounds)
+        self.decisions.update(other.decisions)
+        self.ooc_stored += other.ooc_stored
+        self.ooc_drained += other.ooc_drained
+        self.ooc_evicted += other.ooc_evicted
+        self.ooc_purged += other.ooc_purged

@@ -1,0 +1,180 @@
+"""Wire encoding for RITAS frames and structured values.
+
+Every frame carries ``(path, mtype, payload)``:
+
+- *path* is the hierarchical protocol-instance identifier produced by
+  control-block chaining (Section 3.3 of the paper) -- a tuple of small
+  ints and short strings;
+- *mtype* is the message kind within the protocol (INIT/ECHO/READY/...);
+- *payload* is a structured value.
+
+The value codec is a small canonical binary format covering exactly the
+types the protocols exchange: ``None`` (the paper's ⊥ default value),
+bools, ints, bytes, strs, and lists thereof.  It is canonical --
+equal values encode to equal bytes -- which the consensus layers rely on
+to compare "the same value v" across processes.
+
+Decoding is defensive: any malformed input raises
+:class:`~repro.core.errors.WireFormatError`, never an arbitrary Python
+exception, so corrupt peers cannot crash the stack.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.core.errors import WireFormatError
+
+FRAME_VERSION = 1
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_BYTES = 0x04
+_T_STR = 0x05
+_T_LIST = 0x06
+
+_MAX_DEPTH = 16
+_MAX_LEN = 64 * 1024 * 1024  # defensive cap on any single field
+
+
+def encode_value(value: Any) -> bytes:
+    """Canonically encode a structured value."""
+    out = bytearray()
+    _encode_into(out, value, 0)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Any, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise ValueError("value nesting too deep to encode")
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        out.append(_T_INT)
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_T_BYTES)
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out += struct.pack(">I", len(value))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    else:
+        raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode a value produced by :func:`encode_value`.
+
+    Raises:
+        WireFormatError: on any malformed input, including trailing bytes.
+    """
+    value, offset = _decode_from(data, 0, 0)
+    if offset != len(data):
+        raise WireFormatError("trailing bytes after encoded value")
+    return value
+
+
+def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise WireFormatError("value nesting too deep")
+    if offset >= len(data):
+        raise WireFormatError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag in (_T_INT, _T_BYTES, _T_STR):
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise WireFormatError("truncated value body")
+        raw = data[offset:end]
+        if tag == _T_INT:
+            if not raw:
+                raise WireFormatError("empty int encoding")
+            return int.from_bytes(raw, "big", signed=True), end
+        if tag == _T_BYTES:
+            return raw, end
+        try:
+            return raw.decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("invalid utf-8 in string") from exc
+    if tag == _T_LIST:
+        count, offset = _read_length(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset, depth + 1)
+            items.append(item)
+        return items, offset
+    raise WireFormatError(f"unknown value tag 0x{tag:02x}")
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    if offset + 4 > len(data):
+        raise WireFormatError("truncated length field")
+    (length,) = struct.unpack_from(">I", data, offset)
+    if length > _MAX_LEN:
+        raise WireFormatError(f"field length {length} exceeds cap")
+    return length, offset + 4
+
+
+# -- frames ------------------------------------------------------------------
+
+PathComponent = int | str
+Path = tuple[PathComponent, ...]
+
+
+def encode_frame(path: Path, mtype: int, payload: Any) -> bytes:
+    """Encode one protocol frame (path + message type + payload)."""
+    if not 0 <= mtype <= 0xFF:
+        raise ValueError(f"mtype {mtype} out of range")
+    body = encode_value([list(path), mtype, payload])
+    return bytes([FRAME_VERSION]) + body
+
+
+def decode_frame(data: bytes) -> tuple[Path, int, Any]:
+    """Decode a frame into ``(path, mtype, payload)``.
+
+    Raises:
+        WireFormatError: malformed frame or unsupported version.
+    """
+    if not data:
+        raise WireFormatError("empty frame")
+    if data[0] != FRAME_VERSION:
+        raise WireFormatError(f"unsupported frame version {data[0]}")
+    decoded = decode_value(data[1:])
+    if not isinstance(decoded, list) or len(decoded) != 3:
+        raise WireFormatError("frame body is not a 3-element list")
+    raw_path, mtype, payload = decoded
+    if not isinstance(raw_path, list) or not isinstance(mtype, int):
+        raise WireFormatError("malformed frame header")
+    if not 0 <= mtype <= 0xFF:
+        raise WireFormatError(f"mtype {mtype} out of range")
+    path: list[PathComponent] = []
+    for component in raw_path:
+        if not isinstance(component, (int, str)) or isinstance(component, bool):
+            raise WireFormatError("path components must be ints or strings")
+        path.append(component)
+    return tuple(path), mtype, payload

@@ -1,0 +1,32 @@
+"""Cryptographic building blocks for the RITAS stack.
+
+The paper's protocols are *signature-free*: the only cryptography they use
+is a collision-resistant hash function and pairwise-keyed message
+authentication codes (``H(m, s_ij)``).  This package provides:
+
+- :mod:`repro.crypto.hashing` -- the hash function ``H``.
+- :mod:`repro.crypto.keys` -- pairwise secret keys and the trusted dealer.
+- :mod:`repro.crypto.mac` -- MACs and the MAC vectors used by echo broadcast.
+- :mod:`repro.crypto.coin` -- random coins for binary consensus (Ben-Or
+  local coin, plus a Rabin-style predistributed shared coin as an
+  extension).
+"""
+
+from repro.crypto.coin import CoinSource, LocalCoin, SharedCoin, SharedCoinDealer
+from repro.crypto.hashing import HASH_LEN, hash_bytes
+from repro.crypto.keys import KeyStore, TrustedDealer
+from repro.crypto.mac import mac, mac_vector, verify_mac
+
+__all__ = [
+    "CoinSource",
+    "LocalCoin",
+    "SharedCoin",
+    "SharedCoinDealer",
+    "HASH_LEN",
+    "hash_bytes",
+    "KeyStore",
+    "TrustedDealer",
+    "mac",
+    "mac_vector",
+    "verify_mac",
+]

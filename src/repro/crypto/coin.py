@@ -1,0 +1,69 @@
+"""Random coins for the binary consensus protocol.
+
+RITAS uses a Ben-Or-style *local* coin: "each process has access to a
+random bit generator that returns unbiased bits observable only by the
+process" (Section 2).  :class:`LocalCoin` implements exactly that.
+
+As an extension (discussed in the paper's related work, Section 5), a
+Rabin-style *shared* coin is also provided: a trusted dealer
+predistributes a common random bit sequence, so every correct process
+sees the same coin for the same (instance, round).  A shared coin makes
+the expected round count constant at the price of the dealer setup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from typing import Protocol
+
+
+class CoinSource(Protocol):
+    """Interface binary consensus uses to obtain its round coins."""
+
+    def toss(self, instance: bytes, round_number: int) -> int:
+        """Return an unbiased bit in {0, 1} for the given round."""
+        ...
+
+
+class LocalCoin:
+    """Ben-Or local coin: an independent unbiased bit per toss.
+
+    The generator is injectable so that simulations are reproducible;
+    pass no argument for a securely seeded coin.
+    """
+
+    def __init__(self, rng: random.Random | None = None):
+        self._rng = rng if rng is not None else random.SystemRandom()
+
+    def toss(self, instance: bytes, round_number: int) -> int:
+        return self._rng.getrandbits(1)
+
+
+class SharedCoinDealer:
+    """Trusted dealer for the Rabin-style shared coin (extension).
+
+    The dealer fixes a secret; every process derives the *same* bit for
+    the same (instance id, round) from it.  A real deployment would hand
+    out secret shares; for the reproduction the whole secret is given to
+    every correct process, which preserves the property the protocol
+    needs -- all correct processes observe identical coins.
+    """
+
+    def __init__(self, secret: bytes | None = None):
+        self._secret = secret if secret is not None else os.urandom(32)
+
+    def coin_for(self, process_id: int) -> "SharedCoin":
+        return SharedCoin(self._secret)
+
+
+class SharedCoin:
+    """A coin whose tosses agree across all holders of the dealer secret."""
+
+    def __init__(self, secret: bytes):
+        self._secret = secret
+
+    def toss(self, instance: bytes, round_number: int) -> int:
+        material = self._secret + b"|" + instance + b"|" + round_number.to_bytes(8, "big")
+        return hashlib.sha256(material).digest()[0] & 1

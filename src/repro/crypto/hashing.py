@@ -1,0 +1,30 @@
+"""The cryptographic hash function ``H`` used throughout the stack.
+
+The paper assumes a collision-resistant, one-way hash function (its
+testbed used SHA-1 inside IPSec AH).  We use SHA-256 truncated to 20
+bytes so that the *wire size* of a hash matches the SHA-1 digests the
+original system shipped, which matters for the byte-accurate network
+model in :mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Length, in bytes, of every digest produced by :func:`hash_bytes`.
+#: 20 bytes = SHA-1 digest size, matching the original testbed's IPSec
+#: AH (HMAC-SHA1) configuration.
+HASH_LEN = 20
+
+
+def hash_bytes(*parts: bytes) -> bytes:
+    """Return ``H(parts[0] || parts[1] || ...)`` as a 20-byte digest.
+
+    Parts are length-prefixed before concatenation so that the encoding
+    is injective: ``hash_bytes(b"ab", b"c") != hash_bytes(b"a", b"bc")``.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()[:HASH_LEN]

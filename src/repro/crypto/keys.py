@@ -1,0 +1,88 @@
+"""Pairwise secret keys and the trusted dealer.
+
+Section 2 of the paper: *"Each pair of processes (p_i, p_j) shares a
+secret key s_ij"*, distributed before the protocols run (by a trusted
+dealer or a key-distribution protocol).  The dealer here hands every
+process a :class:`KeyStore` holding its row of the symmetric key matrix
+(``s_ij == s_ji``).
+
+Key distribution is explicitly out of the paper's scope, so the dealer
+is deliberately simple; what matters to the protocols is only the shared
+-key property and that corrupt processes learn nothing about keys they
+do not own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+KEY_LEN = 16
+
+
+class KeyStore:
+    """The secret keys one process shares with every other process."""
+
+    def __init__(self, process_id: int, keys: dict[int, bytes]):
+        if process_id not in keys:
+            raise ValueError(f"key store for p{process_id} is missing its self-key")
+        self._process_id = process_id
+        self._keys = dict(keys)
+
+    @property
+    def process_id(self) -> int:
+        return self._process_id
+
+    @property
+    def peers(self) -> list[int]:
+        """All process ids this store holds a key for (including self)."""
+        return sorted(self._keys)
+
+    def key_for(self, peer: int) -> bytes:
+        """Return ``s_ij`` for peer ``j`` (symmetric: both sides get the same bytes)."""
+        try:
+            return self._keys[peer]
+        except KeyError:
+            raise KeyError(f"p{self._process_id} shares no key with p{peer}") from None
+
+
+class TrustedDealer:
+    """Generates the symmetric matrix of pairwise keys for *n* processes.
+
+    Two modes:
+
+    - ``TrustedDealer(n)`` draws keys from ``os.urandom`` (deployment).
+    - ``TrustedDealer(n, seed=...)`` derives keys deterministically from
+      the seed (reproducible tests and simulations).  Determinism is a
+      property of the *dealer*, never of the protocols.
+    """
+
+    def __init__(self, num_processes: int, seed: bytes | None = None):
+        if num_processes < 1:
+            raise ValueError("need at least one process")
+        self._n = num_processes
+        self._matrix: dict[tuple[int, int], bytes] = {}
+        for i in range(num_processes):
+            for j in range(i, num_processes):
+                if seed is None:
+                    key = os.urandom(KEY_LEN)
+                else:
+                    material = seed + b"|" + str((i, j)).encode()
+                    key = hashlib.sha256(material).digest()[:KEY_LEN]
+                self._matrix[(i, j)] = key
+
+    @property
+    def num_processes(self) -> int:
+        return self._n
+
+    def pair_key(self, i: int, j: int) -> bytes:
+        """The key shared by processes *i* and *j* (order-insensitive)."""
+        lo, hi = min(i, j), max(i, j)
+        return self._matrix[(lo, hi)]
+
+    def keystore_for(self, process_id: int) -> KeyStore:
+        """Build the :class:`KeyStore` handed to process ``process_id``."""
+        if not 0 <= process_id < self._n:
+            raise ValueError(f"process id {process_id} out of range [0, {self._n})")
+        keys = {j: self.pair_key(process_id, j) for j in range(self._n)}
+        return KeyStore(process_id, keys)

@@ -1,0 +1,34 @@
+"""Message authentication codes and the echo-broadcast MAC vectors.
+
+The paper replaces Reiter's digital signatures with *vectors of hashes*:
+process ``p_i`` authenticates message ``m`` towards every peer ``j`` by
+computing ``V_i[j] = H(m, s_ij)`` -- "a simple and efficient form of
+Message Authentication Code" (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyStore
+
+
+def mac(message: bytes, key: bytes) -> bytes:
+    """Return ``H(m, s)``: the keyed digest of *message* under *key*."""
+    return hash_bytes(message, key)
+
+
+def verify_mac(message: bytes, key: bytes, tag: bytes) -> bool:
+    """Constant-time check that *tag* authenticates *message* under *key*."""
+    return hmac.compare_digest(mac(message, key), tag)
+
+
+def mac_vector(message: bytes, keystore: KeyStore) -> list[bytes]:
+    """Build the vector ``V_i`` with ``V_i[j] = H(m, s_ij)`` for every peer.
+
+    Index *j* of the result authenticates *message* towards process *j*,
+    including the entry for the local process itself (the sender verifies
+    its own row when assembling the matrix).
+    """
+    return [mac(message, keystore.key_for(j)) for j in keystore.peers]

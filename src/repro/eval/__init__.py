@@ -1,0 +1,31 @@
+"""Benchmark harness reproducing Section 4 of the paper.
+
+- :mod:`repro.eval.stack_analysis` -- Table 1: isolated latency of each
+  protocol with and without IPSec.
+- :mod:`repro.eval.atomic_burst` -- Figures 4-6: atomic broadcast burst
+  latency and throughput under the three faultloads; Figure 7: relative
+  cost of agreement.
+- :mod:`repro.eval.paper_data` -- the numbers the paper reports, for
+  side-by-side comparison.
+- :mod:`repro.eval.report` -- plain-text tables.
+- :mod:`repro.eval.cli` -- the ``ritas-bench`` entry point.
+"""
+
+from repro.eval.atomic_burst import BurstResult, run_burst, sweep_bursts
+from repro.eval.claims import ClaimResult, check_all
+from repro.eval.stack_analysis import (
+    PROTOCOL_ORDER,
+    latency_table,
+    measure_protocol_latency,
+)
+
+__all__ = [
+    "BurstResult",
+    "ClaimResult",
+    "PROTOCOL_ORDER",
+    "check_all",
+    "latency_table",
+    "measure_protocol_latency",
+    "run_burst",
+    "sweep_bursts",
+]

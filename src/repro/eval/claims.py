@@ -1,0 +1,175 @@
+"""Executable checks of the paper's Section 4.3 claims.
+
+EXPERIMENTS.md *documents* the reproduction; this module *checks* it:
+each claim from the paper's summary of results becomes a function that
+runs the relevant mini-experiment and returns a verdict with evidence.
+``ritas-bench claims`` runs them all, and the test suite pins them.
+
+The checks use reduced workloads (seconds, not minutes); the claims are
+about shape, which survives the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.eval.atomic_burst import run_burst
+from repro.eval.stack_analysis import PROTOCOL_ORDER, measure_protocol_latency
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Verdict for one paper claim."""
+
+    number: int
+    claim: str
+    holds: bool
+    evidence: str
+
+
+def check_latency_ordering(seed: int = 2) -> ClaimResult:
+    """Claim 1: EB < RB < BC < MVC < VC < AB (Table 1)."""
+    latencies = {
+        protocol: measure_protocol_latency(protocol, runs=1, seed=seed)
+        for protocol in PROTOCOL_ORDER
+    }
+    values = [latencies[p] for p in PROTOCOL_ORDER]
+    return ClaimResult(
+        1,
+        "latency ordering EB < RB < BC < MVC < VC < AB",
+        values == sorted(values),
+        " < ".join(f"{p}={v * 1e6:.0f}us" for p, v in latencies.items()),
+    )
+
+
+def check_ipsec_overhead(seed: int = 2) -> ClaimResult:
+    """Claim 2: message integrity (IPSec AH) costs double-digit percent."""
+    with_ipsec = measure_protocol_latency("rb", ipsec=True, runs=2, seed=seed)
+    without = measure_protocol_latency("rb", ipsec=False, runs=2, seed=seed)
+    overhead = with_ipsec / without - 1
+    return ClaimResult(
+        2,
+        "IPSec adds measurable latency overhead",
+        0.0 < overhead < 1.0,
+        f"reliable broadcast overhead {overhead:.0%}",
+    )
+
+
+def check_one_round_consensus(seed: int = 2) -> ClaimResult:
+    """Claim 3: consensus decides in one round under every faultload."""
+    rounds = {
+        faultload: run_burst(32, 10, faultload, seed=seed).max_bc_rounds
+        for faultload in ("failure-free", "fail-stop", "byzantine")
+    }
+    return ClaimResult(
+        3,
+        "binary consensus decides in one round under all faultloads",
+        all(value == 1 for value in rounds.values()),
+        str(rounds),
+    )
+
+
+def check_no_default_decisions(seed: int = 2) -> ClaimResult:
+    """Claim 4: multi-valued consensus never lands on ⊥."""
+    bottoms = {
+        faultload: run_burst(32, 10, faultload, seed=seed).mvc_default_decisions
+        for faultload in ("failure-free", "fail-stop", "byzantine")
+    }
+    return ClaimResult(
+        4,
+        "multi-valued consensus never decides the default value",
+        all(value == 0 for value in bottoms.values()),
+        str(bottoms),
+    )
+
+
+def check_throughput_shape(seed: int = 2) -> ClaimResult:
+    """Claim 5: L_burst grows with k; T_max falls with message size."""
+    small = run_burst(32, 10, "failure-free", seed=seed)
+    large = run_burst(128, 10, "failure-free", seed=seed)
+    fat = run_burst(32, 10000, "failure-free", seed=seed)
+    holds = (
+        large.latency_s > small.latency_s
+        and fat.throughput_msgs_s < small.throughput_msgs_s
+    )
+    return ClaimResult(
+        5,
+        "burst latency grows with k; throughput falls with message size",
+        holds,
+        f"L(32)={small.latency_s * 1e3:.0f}ms L(128)={large.latency_s * 1e3:.0f}ms; "
+        f"T(10B)={small.throughput_msgs_s:.0f} T(10KB)={fat.throughput_msgs_s:.0f} msg/s",
+    )
+
+
+def check_fail_stop_speedup(seed: int = 2) -> ClaimResult:
+    """Claim 6: a crash makes the system faster (less contention)."""
+    free = run_burst(64, 10, "failure-free", seed=seed)
+    stop = run_burst(64, 10, "fail-stop", seed=seed)
+    return ClaimResult(
+        6,
+        "fail-stop runs faster than failure-free",
+        stop.latency_s < free.latency_s,
+        f"failure-free {free.latency_s * 1e3:.0f}ms vs fail-stop "
+        f"{stop.latency_s * 1e3:.0f}ms",
+    )
+
+
+def check_byzantine_immunity(seed: int = 2) -> ClaimResult:
+    """Claim 7: the Section 4.2 attack costs nothing."""
+    free = run_burst(64, 10, "failure-free", seed=seed)
+    byz = run_burst(64, 10, "byzantine", seed=seed)
+    overhead = byz.latency_s / free.latency_s - 1
+    return ClaimResult(
+        7,
+        "Byzantine faultload performance ~ failure-free",
+        abs(overhead) < 0.25,
+        f"attack overhead {overhead:+.1%}",
+    )
+
+
+def check_agreement_dilution(seed: int = 2) -> ClaimResult:
+    """Claim 8: agreement cost ~92% at k=4, a few percent at k=1000."""
+    small = run_burst(4, 10, "failure-free", seed=seed)
+    large = run_burst(1000, 10, "failure-free", seed=seed)
+    holds = (
+        small.agreement_cost > 0.85
+        and large.agreement_cost < 0.08
+        and large.agreements <= 3
+    )
+    return ClaimResult(
+        8,
+        "agreement cost dilutes (~92% at k=4 to a few % at k=1000, ~2 agreements)",
+        holds,
+        f"k=4: {small.agreement_cost:.1%}; k=1000: {large.agreement_cost:.1%} "
+        f"in {large.agreements} agreements",
+    )
+
+
+ALL_CHECKS: tuple[Callable[[int], ClaimResult], ...] = (
+    check_latency_ordering,
+    check_ipsec_overhead,
+    check_one_round_consensus,
+    check_no_default_decisions,
+    check_throughput_shape,
+    check_fail_stop_speedup,
+    check_byzantine_immunity,
+    check_agreement_dilution,
+)
+
+
+def check_all(seed: int = 2) -> list[ClaimResult]:
+    """Run every claim check; returns verdicts in claim order."""
+    return [check(seed) for check in ALL_CHECKS]
+
+
+def format_results(results: list[ClaimResult]) -> str:
+    lines = ["Paper claims (Section 4.3) -- reproduction verdicts:", ""]
+    for result in results:
+        mark = "PASS" if result.holds else "FAIL"
+        lines.append(f"  [{mark}] {result.number}. {result.claim}")
+        lines.append(f"         {result.evidence}")
+    passed = sum(1 for r in results if r.holds)
+    lines.append("")
+    lines.append(f"{passed}/{len(results)} claims reproduced")
+    return "\n".join(lines)

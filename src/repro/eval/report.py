@@ -1,0 +1,70 @@
+"""Plain-text rendering of benchmark results next to the paper's numbers."""
+
+from __future__ import annotations
+
+from repro.eval import paper_data
+from repro.eval.atomic_burst import BurstResult
+from repro.eval.stack_analysis import LatencyRow
+
+
+def format_table1(rows: list[LatencyRow]) -> str:
+    """Render Table 1: measured vs paper, with IPSec overhead columns."""
+    lines = [
+        "Table 1 -- average latency for isolated executions (microseconds)",
+        f"{'protocol':<24}{'w/IPSec':>10}{'w/o':>10}{'ovh':>6}"
+        f"{'paper w/':>10}{'paper w/o':>10}{'ovh':>6}",
+    ]
+    for row in rows:
+        paper = paper_data.TABLE1_US[row.protocol]
+        paper_ovh = paper["ipsec"] / paper["plain"] - 1.0
+        lines.append(
+            f"{row.name:<24}"
+            f"{row.with_ipsec_us:>10.0f}{row.without_ipsec_us:>10.0f}"
+            f"{row.ipsec_overhead:>6.0%}"
+            f"{paper['ipsec']:>10}{paper['plain']:>10}{paper_ovh:>6.0%}"
+        )
+    return "\n".join(lines)
+
+
+def format_burst_sweep(results: list[BurstResult], title: str) -> str:
+    """Render one of Figures 4-6 as latency/throughput series."""
+    lines = [
+        title,
+        f"{'m (B)':>7}{'k':>6}{'latency ms':>12}{'msgs/s':>9}"
+        f"{'agr%':>7}{'agrs':>6}{'bc rnds':>8}{'mvc ⊥':>6}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.message_bytes:>7}{r.burst_size:>6}"
+            f"{r.latency_s * 1e3:>12.1f}{r.throughput_msgs_s:>9.0f}"
+            f"{r.agreement_cost:>7.1%}{r.agreements:>6}"
+            f"{r.max_bc_rounds:>8}{r.mvc_default_decisions:>6}"
+        )
+    return "\n".join(lines)
+
+
+def tmax_by_size(results: list[BurstResult]) -> dict[int, float]:
+    """Maximum observed throughput per message size (the T_max of the
+    paper: where the throughput curve stabilizes)."""
+    tmax: dict[int, float] = {}
+    for r in results:
+        tmax[r.message_bytes] = max(
+            tmax.get(r.message_bytes, 0.0), r.throughput_msgs_s
+        )
+    return tmax
+
+
+def format_fig7(results: list[BurstResult]) -> str:
+    """Render Figure 7: relative agreement cost versus burst size."""
+    lines = [
+        "Figure 7 -- relative cost of agreement (agreement broadcasts / all broadcasts)",
+        f"{'k':>6}{'agreement':>11}{'total':>8}{'cost':>8}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.burst_size:>6}{r.agreement_broadcasts:>11}"
+            f"{r.total_broadcasts:>8}{r.agreement_cost:>8.1%}"
+        )
+    paper = paper_data.FIG7_AGREEMENT_COST
+    lines.append(f"paper anchors: k=4 -> {paper[4]:.0%}, k=1000 -> {paper[1000]:.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Faultload descriptions for simulated runs (Section 4.2 of the paper).
+
+The paper measures under three faultloads:
+
+- **failure-free** -- all processes behave correctly;
+- **fail-stop** -- one process crashes before the measurements start;
+- **Byzantine** -- one process permanently tries to disrupt the
+  protocols (proposing 0 at the binary consensus layer and ⊥ at the
+  multi-valued consensus layer).
+
+A :class:`FaultPlan` expresses any mix of these: crash times per
+process and a protocol-factory transform per Byzantine process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.stack import ProtocolFactory
+
+FactoryTransform = Callable[[ProtocolFactory], ProtocolFactory]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A temporary network split.
+
+    Between *start* and *end* (virtual seconds), frames only travel
+    between processes in the same island; cross-island frames are
+    dropped at the switch.  Asynchronous protocols guarantee safety
+    throughout and resume liveness after the heal -- there is no
+    timeout anywhere to misfire.
+    """
+
+    start: float
+    end: float
+    islands: tuple[tuple[int, ...], ...]
+
+    def separates(self, a: int, b: int, at_time: float) -> bool:
+        if not self.start <= at_time < self.end:
+            return False
+        island_of = {}
+        for index, island in enumerate(self.islands):
+            for pid in island:
+                island_of[pid] = index
+        # Processes not named in any island are unreachable during the
+        # partition (their island is implicit and private).
+        side_a = island_of.get(a, ("solo", a))
+        side_b = island_of.get(b, ("solo", b))
+        return side_a != side_b
+
+
+@dataclass
+class FaultPlan:
+    """Which processes fail, how, and when.
+
+    Attributes:
+        crashed: process id -> virtual crash time in seconds.  From that
+            time on the process neither sends nor receives; messages
+            already in flight to it are dropped on arrival.
+        byzantine: process id -> transform applied to the honest
+            protocol factory to produce that process's (corrupt) stack.
+        partitions: temporary network splits (see :class:`Partition`).
+    """
+
+    crashed: dict[int, float] = field(default_factory=dict)
+    byzantine: dict[int, FactoryTransform] = field(default_factory=dict)
+    partitions: list[Partition] = field(default_factory=list)
+
+    @classmethod
+    def failure_free(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def fail_stop(cls, process_id: int, at: float = 0.0) -> "FaultPlan":
+        """The paper's fail-stop faultload: one process crashed from the start."""
+        return cls(crashed={process_id: at})
+
+    @classmethod
+    def with_byzantine(
+        cls, process_id: int, transform: FactoryTransform
+    ) -> "FaultPlan":
+        """One permanently disruptive process running *transform*'d protocols."""
+        return cls(byzantine={process_id: transform})
+
+    def validate(self, num_processes: int, max_faulty: int) -> None:
+        faulty = set(self.crashed) | set(self.byzantine)
+        for pid in faulty:
+            if not 0 <= pid < num_processes:
+                raise ValueError(f"faulty process id {pid} out of range")
+        if len(faulty) > max_faulty:
+            raise ValueError(
+                f"fault plan corrupts {len(faulty)} processes; "
+                f"the group only tolerates f={max_faulty}"
+            )
+
+    def faulty_ids(self) -> set[int]:
+        return set(self.crashed) | set(self.byzantine)
+
+    def is_crashed(self, process_id: int, at_time: float) -> bool:
+        crash_time = self.crashed.get(process_id)
+        return crash_time is not None and at_time >= crash_time
+
+    def is_partitioned(self, src: int, dest: int, at_time: float) -> bool:
+        """True when a frame src -> dest is cut by an active partition."""
+        return any(p.separates(src, dest, at_time) for p in self.partitions)
+
+    def partition_clear_time(self, src: int, dest: int, at_time: float) -> float:
+        """Earliest time the path src -> dest is clear of partitions.
+
+        The reliable channel is TCP: a partition delays frames (they are
+        retransmitted after the heal), it does not lose them.
+        """
+        time = at_time
+        # Iterate because back-to-back partitions may chain.
+        for _ in range(len(self.partitions) + 1):
+            blocking = [
+                p.end for p in self.partitions if p.separates(src, dest, time)
+            ]
+            if not blocking:
+                return time
+            time = max(blocking)
+        return time

@@ -1,0 +1,160 @@
+"""A one-call facade for simulated group runs.
+
+Driving :class:`LanSimulation` directly means creating instances on
+every stack, wiring callbacks, and spelling out a run predicate.  For
+experiments, notebooks and teaching, :class:`SimGroup` wraps the whole
+dance into one call per service, mirroring the paper's service requests
+(Section 3.1) at group granularity::
+
+    group = SimGroup(n=4, seed=1)
+    group.binary_consensus([1, 0, 1, 1])      # -> [1, 1, 1, 1]
+    group.multivalued_consensus([b"v"] * 4)   # -> [b"v", b"v", b"v", b"v"]
+    group.atomic_broadcast({0: [b"a"], 2: [b"b"]})
+    group.elapsed                             # simulated seconds so far
+
+Each call submits the proposals/broadcasts and advances the simulation
+until every correct process has its result.  The same ``SimGroup`` can
+issue many calls; instances are numbered internally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.atomic_broadcast import AbDelivery
+from repro.net.network import LanSimulation
+
+
+class SimGroup:
+    """High-level driver over one :class:`LanSimulation`.
+
+    Accepts either an existing simulation (``SimGroup(sim=...)``) or the
+    keyword arguments of :class:`LanSimulation` to build one.
+    """
+
+    def __init__(self, sim: LanSimulation | None = None, **sim_kwargs: Any):
+        self.sim = sim if sim is not None else LanSimulation(**sim_kwargs)
+        self._counter = 0
+        self._live = self.sim.correct_ids()
+
+    @property
+    def n(self) -> int:
+        return self.sim.config.num_processes
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds consumed so far."""
+        return self.sim.now
+
+    def _next_path(self, kind: str) -> tuple:
+        self._counter += 1
+        return ("simgroup", kind, self._counter)
+
+    def _check_proposals(self, proposals: list[Any]) -> None:
+        if len(proposals) != self.n:
+            raise ValueError(
+                f"need one proposal per process ({self.n}), got {len(proposals)}"
+            )
+
+    def _run_consensus(
+        self, kind: str, proposals: list[Any], max_time: float
+    ) -> list[Any]:
+        self._check_proposals(proposals)
+        path = self._next_path(kind)
+        results: dict[int, Any] = {}
+        for pid in self._live:
+            instance = self.sim.stacks[pid].create(kind, path)
+            instance.on_deliver = (
+                lambda _i, value, pid=pid: results.setdefault(pid, value)
+            )
+        for pid in self._live:
+            self.sim.stacks[pid].instance_at(path).propose(proposals[pid])
+        reason = self.sim.run(
+            until=lambda: len(results) == len(self._live), max_time=self.sim.now + max_time
+        )
+        if reason != "until":
+            raise RuntimeError(f"{kind} did not complete (stop reason: {reason})")
+        return [results[pid] for pid in self._live]
+
+    # -- services -------------------------------------------------------------------
+
+    def binary_consensus(self, proposals: list[int], max_time: float = 60.0) -> list[int]:
+        """Propose one bit per process; returns each live process's decision."""
+        return self._run_consensus("bc", proposals, max_time)
+
+    def multivalued_consensus(
+        self, proposals: list[Any], max_time: float = 60.0
+    ) -> list[Any]:
+        return self._run_consensus("mvc", proposals, max_time)
+
+    def vector_consensus(
+        self, proposals: list[Any], max_time: float = 60.0
+    ) -> list[list[Any]]:
+        return self._run_consensus("vc", proposals, max_time)
+
+    def reliable_broadcast(
+        self, sender: int, payload: Any, max_time: float = 60.0
+    ) -> list[Any]:
+        """One RB from *sender*; returns what each live process delivered."""
+        return self._run_broadcast("rb", sender, payload, max_time)
+
+    def echo_broadcast(
+        self, sender: int, payload: Any, max_time: float = 60.0
+    ) -> list[Any]:
+        return self._run_broadcast("eb", sender, payload, max_time)
+
+    def _run_broadcast(
+        self, kind: str, sender: int, payload: Any, max_time: float
+    ) -> list[Any]:
+        if sender not in self._live:
+            raise ValueError(f"sender p{sender} is not a live process")
+        path = self._next_path(kind)
+        results: dict[int, Any] = {}
+        for pid in self._live:
+            instance = self.sim.stacks[pid].create(kind, path, sender=sender)
+            instance.on_deliver = (
+                lambda _i, value, pid=pid: results.setdefault(pid, value)
+            )
+        self.sim.stacks[sender].instance_at(path).broadcast(payload)
+        reason = self.sim.run(
+            until=lambda: len(results) == len(self._live),
+            max_time=self.sim.now + max_time,
+        )
+        if reason != "until":
+            raise RuntimeError(f"{kind} did not complete (stop reason: {reason})")
+        return [results[pid] for pid in self._live]
+
+    def atomic_broadcast(
+        self, messages: dict[int, list[Any]], max_time: float = 120.0
+    ) -> list[list[AbDelivery]]:
+        """Broadcast *messages* (sender -> payload list); returns each live
+        process's delivery sequence for this call.
+
+        The atomic broadcast session persists across calls (total order
+        spans the whole group lifetime); only the deliveries triggered
+        by this call are returned.
+        """
+        path = ("simgroup", "ab")
+        orders: dict[int, list[AbDelivery]] = {}
+        for pid in self._live:
+            existing = self.sim.stacks[pid].instance_at(path)
+            if existing is None:
+                existing = self.sim.stacks[pid].create("ab", path)
+            orders[pid] = []
+            existing.on_deliver = (
+                lambda _i, delivery, pid=pid: orders[pid].append(delivery)
+            )
+        expected = 0
+        for sender, payloads in messages.items():
+            if sender not in self._live:
+                raise ValueError(f"sender p{sender} is not a live process")
+            for payload in payloads:
+                self.sim.stacks[sender].instance_at(path).broadcast(payload)
+                expected += 1
+        reason = self.sim.run(
+            until=lambda: all(len(o) >= expected for o in orders.values()),
+            max_time=self.sim.now + max_time,
+        )
+        if reason != "until":
+            raise RuntimeError(f"atomic broadcast stalled (stop reason: {reason})")
+        return [orders[pid] for pid in self._live]

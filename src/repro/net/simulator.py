@@ -1,0 +1,75 @@
+"""A minimal deterministic discrete-event loop.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap; the
+sequence number makes execution order total and therefore reproducible
+run-to-run for a fixed seed, which the whole evaluation pipeline relies
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+
+class EventLoop:
+    """Deterministic event loop with virtual time in seconds."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` *delay* seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual *time* (>= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._heap, (time, self._sequence, fn, args))
+        self._sequence += 1
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_time: float = math.inf,
+        max_events: int | None = None,
+    ) -> str:
+        """Process events in order.
+
+        Stops when the *until* predicate becomes true (checked after
+        each event), the queue drains ("idle"), virtual time would pass
+        *max_time*, or *max_events* have run.  Returns the stop reason:
+        one of ``"until"``, ``"idle"``, ``"max_time"``, ``"max_events"``.
+        """
+        if until is not None and until():
+            return "until"
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                return "max_events"
+            time, _, fn, args = self._heap[0]
+            if time > max_time:
+                return "max_time"
+            heapq.heappop(self._heap)
+            self._now = time
+            fn(*args)
+            processed += 1
+            self.events_processed += 1
+            if until is not None and until():
+                return "until"
+        return "idle"

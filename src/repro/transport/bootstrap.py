@@ -1,0 +1,170 @@
+"""Deployment bootstrap: group descriptors and key provisioning.
+
+The paper assumes pairwise keys are distributed "before the execution
+of the protocols ... by a trusted dealer or some kind of key
+distribution protocol".  This module is that trusted dealer's tooling
+for real deployments:
+
+- a **group descriptor** (JSON) lists every process's listen address;
+- ``provision()`` runs the dealer once and writes one **key file** per
+  process (each containing only that process's row of the key matrix --
+  a process never sees keys it does not own);
+- ``load_session_config()`` reads both back on each host.
+
+The ``ritas-keygen`` console script wraps ``provision`` for operators::
+
+    ritas-keygen group.json --out-dir keys/
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import GroupConfig
+from repro.crypto.keys import KeyStore, TrustedDealer
+from repro.transport.tcp import PeerAddress
+
+DESCRIPTOR_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything one process needs to join the group."""
+
+    config: GroupConfig
+    process_id: int
+    addresses: list[PeerAddress]
+    keystore: KeyStore
+
+
+def write_group_descriptor(path: Path, addresses: list[PeerAddress]) -> None:
+    """Write the shared (non-secret) group descriptor."""
+    descriptor = {
+        "version": DESCRIPTOR_VERSION,
+        "processes": [{"host": a.host, "port": a.port} for a in addresses],
+    }
+    path.write_text(json.dumps(descriptor, indent=2) + "\n")
+
+
+def read_group_descriptor(path: Path) -> list[PeerAddress]:
+    """Read and validate a group descriptor."""
+    try:
+        descriptor = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(descriptor, dict) or descriptor.get("version") != DESCRIPTOR_VERSION:
+        raise ValueError(f"{path}: unsupported group descriptor version")
+    raw = descriptor.get("processes")
+    if not isinstance(raw, list) or not raw:
+        raise ValueError(f"{path}: descriptor lists no processes")
+    addresses = []
+    for index, entry in enumerate(raw):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("host"), str)
+            or not isinstance(entry.get("port"), int)
+            or not 0 < entry["port"] < 65536
+        ):
+            raise ValueError(f"{path}: malformed process entry #{index}")
+        addresses.append(PeerAddress(entry["host"], entry["port"]))
+    return addresses
+
+
+def provision(
+    descriptor_path: Path, out_dir: Path, *, seed: bytes | None = None
+) -> list[Path]:
+    """Run the trusted dealer: one key file per process under *out_dir*.
+
+    Returns the written paths.  Pass *seed* only in tests -- production
+    keys must come from the default (urandom) dealer.
+    """
+    addresses = read_group_descriptor(descriptor_path)
+    n = len(addresses)
+    dealer = TrustedDealer(n, seed=seed)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for pid in range(n):
+        store = dealer.keystore_for(pid)
+        payload = {
+            "version": DESCRIPTOR_VERSION,
+            "process_id": pid,
+            "num_processes": n,
+            "keys": {
+                str(peer): base64.b64encode(store.key_for(peer)).decode()
+                for peer in store.peers
+            },
+        }
+        key_path = out_dir / f"process-{pid}.keys.json"
+        key_path.write_text(json.dumps(payload, indent=2) + "\n")
+        key_path.chmod(0o600)
+        written.append(key_path)
+    return written
+
+
+def read_keystore(path: Path) -> tuple[int, int, KeyStore]:
+    """Load one process's key file: (process_id, n, keystore)."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != DESCRIPTOR_VERSION:
+        raise ValueError(f"{path}: unsupported key file version")
+    process_id = payload.get("process_id")
+    n = payload.get("num_processes")
+    raw_keys = payload.get("keys")
+    if (
+        not isinstance(process_id, int)
+        or not isinstance(n, int)
+        or not isinstance(raw_keys, dict)
+    ):
+        raise ValueError(f"{path}: malformed key file")
+    keys = {}
+    for peer_text, encoded in raw_keys.items():
+        try:
+            keys[int(peer_text)] = base64.b64decode(encoded)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"{path}: malformed key entry {peer_text!r}") from exc
+    return process_id, n, KeyStore(process_id, keys)
+
+
+def load_session_config(descriptor_path: Path, key_path: Path) -> SessionConfig:
+    """Assemble one process's full session configuration."""
+    addresses = read_group_descriptor(descriptor_path)
+    process_id, n, keystore = read_keystore(key_path)
+    if n != len(addresses):
+        raise ValueError(
+            f"key file is for a group of {n}, descriptor lists {len(addresses)}"
+        )
+    if not 0 <= process_id < n:
+        raise ValueError(f"key file's process id {process_id} out of range")
+    return SessionConfig(
+        config=GroupConfig(n),
+        process_id=process_id,
+        addresses=addresses,
+        keystore=keystore,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ritas-keygen",
+        description="Provision pairwise RITAS keys for a group descriptor.",
+    )
+    parser.add_argument("descriptor", type=Path, help="group descriptor JSON")
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path("keys"), help="key file directory"
+    )
+    args = parser.parse_args(argv)
+    written = provision(args.descriptor, args.out_dir)
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Awaitable facade over a :class:`RitasNode`.
+
+Exposes the paper's API shape (Section 3.1) in asyncio terms: blocking
+service requests become awaitables, and atomic broadcast deliveries
+become an async stream::
+
+    async with RitasSession(config, pid, addresses, keystore) as session:
+        await session.ab_broadcast(b"hello")
+        delivery = await session.ab_recv()
+        bit = await session.binary_consensus("vote-1", 1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.atomic_broadcast import AbDelivery
+from repro.core.config import GroupConfig
+from repro.core.stack import ProtocolFactory
+from repro.core.wire import Path
+from repro.crypto.keys import KeyStore
+from repro.transport.tcp import PeerAddress, RitasNode
+
+
+class RitasSession:
+    """One process's handle on the group's services."""
+
+    def __init__(
+        self,
+        config: GroupConfig,
+        process_id: int,
+        addresses: list[PeerAddress],
+        keystore: KeyStore,
+        *,
+        factory: ProtocolFactory | None = None,
+    ):
+        self.node = RitasNode(
+            config, process_id, addresses, keystore, factory=factory
+        )
+        self._ab_queue: asyncio.Queue[AbDelivery] = asyncio.Queue()
+        self._ab = None
+
+    @property
+    def config(self) -> GroupConfig:
+        return self.node.config
+
+    @property
+    def process_id(self) -> int:
+        return self.node.process_id
+
+    async def start(self) -> None:
+        await self.node.start()
+        self._ab = self.node.stack.create("ab", ("ab",))
+        self._ab.on_deliver = lambda _inst, d: self._ab_queue.put_nowait(d)
+
+    async def close(self) -> None:
+        await self.node.close()
+
+    async def __aenter__(self) -> "RitasSession":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- atomic broadcast (ritas_ab_bcast / ritas_ab_recv) ---------------------------
+
+    async def ab_broadcast(self, payload: Any) -> tuple[int, int]:
+        """Atomically broadcast *payload*; returns its (sender, rbid) id."""
+        assert self._ab is not None, "session not started"
+        return self._ab.broadcast(payload)
+
+    async def ab_recv(self) -> AbDelivery:
+        """Await the next totally-ordered delivery."""
+        return await self._ab_queue.get()
+
+    # -- consensus services (ritas_bc / ritas_mvc / ritas_vc) -------------------------
+
+    async def binary_consensus(self, tag: str, value: int) -> int:
+        """Propose a bit under *tag*; awaits and returns the decision.
+
+        Every process must call this with the same *tag* for the same
+        instance (the paper's applications coordinate instance creation
+        the same way).
+        """
+        return await self._consensus("bc", ("bc", tag), value)
+
+    async def multivalued_consensus(self, tag: str, value: Any) -> Any:
+        """Propose an arbitrary value; returns the decision (``None`` = ⊥)."""
+        return await self._consensus("mvc", ("mvc", tag), value)
+
+    async def vector_consensus(self, tag: str, value: Any) -> list[Any]:
+        """Propose a value; returns the agreed vector of proposals."""
+        return await self._consensus("vc", ("vc", tag), value)
+
+    async def _consensus(self, kind: str, path: Path, value: Any) -> Any:
+        stack = self.node.stack
+        instance = stack.instance_at(path)
+        if instance is None:
+            instance = stack.create(kind, path)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+
+        def on_decide(_instance, decision: Any) -> None:
+            if not future.done():
+                future.set_result(decision)
+
+        instance.on_deliver = on_decide
+        decided = getattr(instance, "decision", None)
+        if getattr(instance, "decided", False):
+            return decided
+        instance.propose(value)  # type: ignore[attr-defined]
+        return await future

@@ -1,0 +1,200 @@
+"""The asyncio TCP node hosting one RITAS stack.
+
+Topology: every node listens on its own address and opens one outbound
+connection to every peer (used for sending only); inbound connections
+are receive-only.  The first frame on an inbound connection identifies
+-- and cryptographically authenticates -- the sending peer.
+
+All stack processing happens on the event loop thread; the sans-IO core
+needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import struct
+import time
+from dataclasses import dataclass
+
+from repro.core.config import GroupConfig
+from repro.core.stack import ProtocolFactory, Stack
+from repro.crypto.keys import KeyStore
+from repro.transport.framing import MAC_LEN, FrameCodec, FramingError, peek_src
+
+logger = logging.getLogger(__name__)
+
+_LEN = struct.Struct(">I")
+_MAX_BODY = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PeerAddress:
+    """Where one process listens."""
+
+    host: str
+    port: int
+
+
+class RitasNode:
+    """One process of the group, on a real network.
+
+    Args:
+        config: the group description.
+        process_id: this process's id.
+        addresses: listen address of every process, indexed by pid.
+        keystore: pairwise keys (from a :class:`TrustedDealer` or an
+            out-of-band provisioning step, as in the paper).
+        factory: protocol registry; override for fault-injection tests.
+        connect_retry_s: delay between outbound connection attempts
+            while peers are still coming up.
+    """
+
+    def __init__(
+        self,
+        config: GroupConfig,
+        process_id: int,
+        addresses: list[PeerAddress],
+        keystore: KeyStore,
+        *,
+        factory: ProtocolFactory | None = None,
+        connect_retry_s: float = 0.2,
+    ):
+        if len(addresses) != config.num_processes:
+            raise ValueError("need one address per process")
+        self.config = config
+        self.process_id = process_id
+        self.addresses = list(addresses)
+        self.keystore = keystore
+        self.connect_retry_s = connect_retry_s
+        self.stack = Stack(
+            config,
+            process_id,
+            outbox=self._outbox,
+            keystore=keystore,
+            clock=time.monotonic,
+            factory=factory,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._send_codecs: dict[int, FrameCodec] = {}
+        self._send_queues: dict[int, asyncio.Queue[bytes]] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._closed = False
+        self.frames_rejected = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Listen, then connect to every peer (retrying until they are up)."""
+        own = self.addresses[self.process_id]
+        self._server = await asyncio.start_server(
+            self._on_inbound, host=own.host, port=own.port
+        )
+        for pid in self.config.process_ids:
+            if pid == self.process_id:
+                continue
+            self._send_codecs[pid] = FrameCodec(
+                self.keystore.key_for(pid), self.process_id
+            )
+            queue: asyncio.Queue[bytes] = asyncio.Queue()
+            self._send_queues[pid] = queue
+            self._tasks.append(asyncio.create_task(self._sender(pid, queue)))
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "RitasNode":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- outbound -------------------------------------------------------------------
+
+    def _outbox(self, dest: int, data: bytes) -> None:
+        if self._closed:
+            return
+        if dest == self.process_id:
+            # Local loopback: schedule rather than recurse, keeping the
+            # send call non-reentrant like a socket write.
+            asyncio.get_event_loop().call_soon(
+                self.stack.receive, self.process_id, data
+            )
+            return
+        self._send_queues[dest].put_nowait(data)
+
+    async def _sender(self, pid: int, queue: asyncio.Queue[bytes]) -> None:
+        """Own the outbound connection to *pid*: (re)connect and drain."""
+        address = self.addresses[pid]
+        codec = self._send_codecs[pid]
+        writer: asyncio.StreamWriter | None = None
+        try:
+            while not self._closed:
+                if writer is None:
+                    try:
+                        _, writer = await asyncio.open_connection(
+                            address.host, address.port
+                        )
+                        self._writers[pid] = writer
+                    except OSError:
+                        await asyncio.sleep(self.connect_retry_s)
+                        continue
+                data = await queue.get()
+                try:
+                    writer.write(codec.encode(data))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    logger.warning("p%d: lost connection to p%d", self.process_id, pid)
+                    writer.close()
+                    writer = None
+                    # The frame is lost with the connection; the reliable
+                    # channel property is per-TCP-session, as in the paper.
+        except asyncio.CancelledError:
+            pass
+
+    # -- inbound --------------------------------------------------------------------
+
+    async def _on_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        codec: FrameCodec | None = None
+        peer = "?"
+        try:
+            while not self._closed:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if not MAC_LEN < length <= _MAX_BODY:
+                    raise FramingError(f"implausible frame length {length}")
+                body = await reader.readexactly(length)
+                if codec is None:
+                    src = peek_src(body)
+                    if src not in self.config.process_ids or src == self.process_id:
+                        raise FramingError(f"inbound link claims invalid pid {src}")
+                    codec = FrameCodec(self.keystore.key_for(src), src)
+                    peer = f"p{src}"
+                src, payload = codec.decode(body)
+                self.stack.receive(src, payload)
+        except asyncio.CancelledError:
+            pass
+        except (asyncio.IncompleteReadError, ConnectionError):
+            logger.debug("p%d: inbound link from %s closed", self.process_id, peer)
+        except FramingError as exc:
+            self.frames_rejected += 1
+            logger.warning(
+                "p%d: rejecting inbound link from %s: %s", self.process_id, peer, exc
+            )
+        finally:
+            writer.close()

@@ -1,0 +1,66 @@
+"""Atomic broadcast when an agreement lands on ⊥ (the retry path).
+
+The paper's Byzantine analysis: if the attack at the MVC layer *had*
+succeeded, "correct processes ... would have to start a new agreement
+round".  The attack never wins from within f, so we force the path with
+a test double: every stack's *first* MVC instance decides ⊥
+immediately; later instances are honest.  The burst must still be
+delivered -- one round later -- with order agreement intact.
+"""
+
+from repro.core.multivalued_consensus import MultiValuedConsensus
+from repro.core.stack import ProtocolFactory
+
+from util import InstantNet, ShuffleNet
+
+
+def bottom_once_factory():
+    """Factory whose first created MVC (per stack) decides ⊥ at once."""
+
+    class BottomOnceMvc(MultiValuedConsensus):
+        fired_stacks: set[int] = set()
+
+        def propose(self, value):
+            if self.me not in BottomOnceMvc.fired_stacks:
+                BottomOnceMvc.fired_stacks.add(self.me)
+                self._decide(None)
+                return
+            super().propose(value)
+
+    return ProtocolFactory.default().override("mvc", BottomOnceMvc), BottomOnceMvc
+
+
+def test_bottom_agreement_retries_and_delivers():
+    factory, cls = bottom_once_factory()
+    net = InstantNet(4, factories={pid: factory for pid in range(4)})
+    orders = {}
+    for pid, stack in enumerate(net.stacks):
+        ab = stack.create("ab", ("a",))
+        orders[pid] = []
+        ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+    for pid in range(4):
+        net.stacks[pid].instance_at(("a",)).broadcast(b"m%d" % pid)
+    net.run()
+    reference = orders[0]
+    assert len(reference) == 4
+    assert all(order == reference for order in orders.values())
+    ab0 = net.stacks[0].instance_at(("a",))
+    assert ab0.agreements_empty >= 1  # the forced ⊥ registered
+    assert ab0.round >= 2  # and cost an extra agreement round
+
+
+def test_bottom_agreement_on_shuffles():
+    for seed in range(6):
+        factory, cls = bottom_once_factory()
+        net = ShuffleNet(4, seed=seed, factories={pid: factory for pid in range(4)})
+        orders = {}
+        for pid, stack in enumerate(net.stacks):
+            ab = stack.create("ab", ("a",))
+            orders[pid] = []
+            ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+        for pid in range(4):
+            net.stacks[pid].instance_at(("a",)).broadcast(b"s%d" % pid)
+        net.run()
+        reference = orders[0]
+        assert len(reference) == 4, f"seed {seed}"
+        assert all(order == reference for order in orders.values()), f"seed {seed}"

@@ -1,0 +1,116 @@
+"""Byzantine strategies: every Section 4.2 attack must fail against the
+honest majority, and the fault plan must keep the attacker inside f."""
+
+import pytest
+
+from repro.adversary import (
+    byzantine_paper_faultload,
+    crash_consensus_faultload,
+    random_noise_faultload,
+)
+from repro.core.stack import ProtocolFactory
+from repro.net.faults import FaultPlan
+
+from util import InstantNet, ShuffleNet, decisions_of
+
+
+def bc_net(seed, transform, attacker=3):
+    factory = transform(ProtocolFactory.default())
+    return ShuffleNet(4, seed=seed, factories={attacker: factory})
+
+
+def run_bc(net, proposals):
+    for pid, stack in enumerate(net.stacks):
+        stack.create("bc", ("bc",))
+    for pid, stack in enumerate(net.stacks):
+        stack.instance_at(("bc",)).propose(proposals[pid])
+    net.run()
+    return [net.stacks[pid].instance_at(("bc",)).decision for pid in range(3)]
+
+
+class TestAlwaysZeroAttack:
+    def test_cannot_flip_unanimous_one(self):
+        """All correct propose 1; the attacker pushes 0 everywhere.  The
+        validity property must hold: decision 1."""
+        for seed in range(10):
+            net = bc_net(seed, byzantine_paper_faultload)
+            decisions = run_bc(net, [1, 1, 1, 0])
+            assert decisions == [1, 1, 1], f"seed {seed}: {decisions}"
+
+    def test_correct_still_decide_one_round(self):
+        for seed in range(5):
+            net = bc_net(seed, byzantine_paper_faultload)
+            run_bc(net, [1, 1, 1, 0])
+            for pid in range(3):
+                bc = net.stacks[pid].instance_at(("bc",))
+                assert bc.decision_round == 1, f"seed {seed}"
+
+    def test_zero_attack_with_unanimous_zero_is_harmless(self):
+        net = bc_net(0, byzantine_paper_faultload)
+        assert run_bc(net, [0, 0, 0, 0]) == [0, 0, 0]
+
+
+class TestRandomNoiseAttack:
+    def test_agreement_survives_noise(self):
+        for seed in range(10):
+            net = bc_net(seed, random_noise_faultload)
+            decisions = run_bc(net, [1, 1, 1, 1])
+            assert decisions == [1, 1, 1], f"seed {seed}"
+
+    def test_mixed_proposals_still_agree(self):
+        for seed in range(10):
+            net = bc_net(seed, random_noise_faultload)
+            decisions = run_bc(net, [0, 1, 0, 1])
+            assert len(set(decisions)) == 1, f"seed {seed}"
+
+
+class TestOmissionAttack:
+    def test_mute_consensus_participant_tolerated(self):
+        for seed in range(10):
+            net = bc_net(seed, crash_consensus_faultload)
+            decisions = run_bc(net, [1, 1, 1, 1])
+            assert decisions == [1, 1, 1], f"seed {seed}"
+
+
+class TestMvcAttackThroughTheStack:
+    def test_full_paper_faultload_on_mvc(self):
+        for seed in range(8):
+            factory = byzantine_paper_faultload(ProtocolFactory.default())
+            net = ShuffleNet(4, seed=seed, factories={2: factory})
+            for stack in net.stacks:
+                stack.create("mvc", ("m",))
+            for stack in net.stacks:
+                stack.instance_at(("m",)).propose(b"payload")
+            net.run()
+            correct = [
+                net.stacks[pid].instance_at(("m",)).decision for pid in (0, 1, 3)
+            ]
+            assert correct == [b"payload"] * 3, f"seed {seed}"
+
+
+class TestFaultPlan:
+    def test_too_many_faults_rejected(self):
+        plan = FaultPlan(crashed={0: 0.0}, byzantine={1: byzantine_paper_faultload})
+        with pytest.raises(ValueError, match="tolerates"):
+            plan.validate(4, 1)
+
+    def test_crash_and_byzantine_same_process_is_one_fault(self):
+        plan = FaultPlan(crashed={0: 0.0}, byzantine={0: byzantine_paper_faultload})
+        plan.validate(4, 1)
+        assert plan.faulty_ids() == {0}
+
+    def test_out_of_range_pid_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            FaultPlan(crashed={7: 0.0}).validate(4, 1)
+
+    def test_is_crashed_respects_time(self):
+        plan = FaultPlan(crashed={1: 2.0})
+        assert not plan.is_crashed(1, 1.0)
+        assert plan.is_crashed(1, 2.0)
+        assert not plan.is_crashed(0, 99.0)
+
+    def test_constructors(self):
+        assert FaultPlan.failure_free().faulty_ids() == set()
+        assert FaultPlan.fail_stop(2).crashed == {2: 0.0}
+        plan = FaultPlan.with_byzantine(1, byzantine_paper_faultload)
+        assert plan.faulty_ids() == {1}

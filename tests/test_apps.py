@@ -1,0 +1,179 @@
+"""Applications: state machine replication and the replicated KV store."""
+
+import pytest
+
+from repro.apps.kv_store import KvCommand, ReplicatedKvStore
+from repro.apps.state_machine import Command, ReplicatedStateMachine
+from repro.core.stack import ProtocolFactory
+from repro.adversary import byzantine_paper_faultload
+
+from util import InstantNet, ShuffleNet
+
+
+def counter_apply(state, command):
+    if command.op == "add" and len(command.args) == 1:
+        return state + command.args[0], state + command.args[0]
+    return state, None
+
+
+def make_rsms(net, apply_fn=counter_apply, initial=0):
+    rsms = []
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            rsms.append(None)
+            continue
+        ab = stack.create("ab", ("app",))
+        rsms.append(ReplicatedStateMachine(ab, apply_fn, initial))
+    return rsms
+
+
+class TestCommand:
+    def test_roundtrip(self):
+        command = Command("put", ["key", b"value", 7])
+        assert Command.decode(command.encode()) == command
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Command.decode(b"\x00")
+        from repro.core.wire import encode_value
+
+        with pytest.raises(ValueError):
+            Command.decode(encode_value([1, 2]))
+        with pytest.raises(ValueError):
+            Command.decode(encode_value(["op", "not-a-list"]))
+
+
+class TestStateMachine:
+    def test_replicas_converge(self):
+        net = InstantNet(4)
+        rsms = make_rsms(net)
+        rsms[0].submit(Command("add", [5]))
+        rsms[1].submit(Command("add", [10]))
+        net.run()
+        assert [rsm.state for rsm in rsms] == [15, 15, 15, 15]
+
+    def test_identical_logs(self):
+        for seed in range(8):
+            net = ShuffleNet(4, seed=seed)
+            rsms = make_rsms(net)
+            for pid in range(4):
+                rsms[pid].submit(Command("add", [pid + 1]))
+            net.run()
+            logs = [[(d.sender, d.rbid) for d, _ in rsm.applied] for rsm in rsms]
+            assert all(log == logs[0] for log in logs), f"seed {seed}"
+
+    def test_state_digest_matches_across_replicas(self):
+        net = InstantNet(4)
+        rsms = make_rsms(net)
+        rsms[2].submit(Command("add", [3]))
+        net.run()
+        digests = {rsm.state_digest() for rsm in rsms}
+        assert len(digests) == 1
+
+    def test_result_callback_fires_for_local_commands_only(self):
+        net = InstantNet(4)
+        rsms = make_rsms(net)
+        results = []
+        rsms[0].on_result = lambda cmd, res: results.append(res)
+        rsms[0].submit(Command("add", [5]))
+        rsms[1].submit(Command("add", [7]))
+        net.run()
+        assert results == [5] or results == [12]  # only p0's own command
+        assert len(results) == 1
+
+    def test_malformed_commands_skipped_deterministically(self):
+        net = InstantNet(4)
+        rsms = make_rsms(net)
+        # A raw (non-Command) payload enters the log via the AB layer.
+        net.stacks[3].instance_at(("app",)).broadcast(b"\xff garbage")
+        rsms[0].submit(Command("add", [1]))
+        net.run()
+        assert [rsm.state for rsm in rsms] == [1, 1, 1, 1]
+        assert all(rsm.malformed_commands == 1 for rsm in rsms)
+
+    def test_non_bytes_payload_skipped(self):
+        net = InstantNet(4)
+        rsms = make_rsms(net)
+        net.stacks[3].instance_at(("app",)).broadcast(["not", "bytes"])
+        rsms[0].submit(Command("add", [2]))
+        net.run()
+        assert all(rsm.state == 2 for rsm in rsms)
+
+
+class TestKvStore:
+    def make_stores(self, net):
+        stores = []
+        for pid, stack in enumerate(net.stacks):
+            ab = stack.create("ab", ("kv",))
+            stores.append(ReplicatedKvStore(ab))
+        return stores
+
+    def test_put_get(self):
+        net = InstantNet(4)
+        stores = self.make_stores(net)
+        stores[0].put("k", b"v")
+        net.run()
+        assert all(store.get("k") == b"v" for store in stores)
+
+    def test_delete(self):
+        net = InstantNet(4)
+        stores = self.make_stores(net)
+        stores[0].put("k", b"v")
+        stores[1].delete("k")
+        net.run()
+        # Order is deterministic: (0,0) put before (1,0) delete in the
+        # same batch.
+        assert all(store.get("k") is None for store in stores)
+
+    def test_cas_success_and_failure(self):
+        net = InstantNet(4)
+        stores = self.make_stores(net)
+        stores[0].put("k", b"a")
+        net.run()
+        stores[1].cas("k", b"a", b"b")
+        net.run()
+        assert all(store.get("k") == b"b" for store in stores)
+        stores[2].cas("k", b"stale", b"c")
+        net.run()
+        assert all(store.get("k") == b"b" for store in stores)
+
+    def test_digest_convergence_under_concurrent_writes(self):
+        for seed in range(6):
+            net = ShuffleNet(4, seed=seed)
+            stores = self.make_stores(net)
+            for pid in range(4):
+                stores[pid].put(f"key-{pid}", b"v%d" % pid)
+                stores[pid].put("shared", b"from-%d" % pid)
+            net.run()
+            digests = {store.state_digest() for store in stores}
+            assert len(digests) == 1, f"seed {seed}"
+            assert len(stores[0]) == 5
+
+    def test_keys_sorted(self):
+        net = InstantNet(4)
+        stores = self.make_stores(net)
+        stores[0].put("b", b"2")
+        stores[0].put("a", b"1")
+        net.run()
+        assert stores[1].keys() == ["a", "b"]
+
+    def test_survives_byzantine_replica(self):
+        factory = byzantine_paper_faultload(ProtocolFactory.default())
+        for seed in range(5):
+            net = ShuffleNet(4, seed=seed, factories={3: factory})
+            stores = self.make_stores(net)
+            stores[0].put("x", b"1")
+            stores[1].put("y", b"2")
+            net.run()
+            correct = stores[:3]
+            assert all(s.get("x") == b"1" and s.get("y") == b"2" for s in correct)
+            assert len({s.state_digest() for s in correct}) == 1
+
+    def test_ill_typed_commands_are_noops(self):
+        net = InstantNet(4)
+        stores = self.make_stores(net)
+        # A corrupt replica submits a type-confused put via the RSM layer.
+        stores[3].rsm.submit(Command("put", [7, 7]))
+        stores[0].put("ok", b"1")
+        net.run()
+        assert all(store.keys() == ["ok"] for store in stores)

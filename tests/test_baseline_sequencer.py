@@ -1,0 +1,105 @@
+"""The Rampart-style sequencer baseline: cheap when the leader is honest,
+dead when the leader crashes -- the paper's Section 5 contrast."""
+
+from repro.baselines import with_sequencer
+from repro.core.stack import ProtocolFactory
+
+from util import InstantNet, ShuffleNet
+
+
+def seq_net(n=4, seed=0, crashed=None):
+    factory = with_sequencer(ProtocolFactory.default())
+    factories = {pid: factory for pid in range(n)}
+    return ShuffleNet(n, seed=seed, factories=factories, crashed=crashed or set())
+
+
+def setup(net, leader=0):
+    orders = {}
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            continue
+        ab = stack.create("seq-ab", ("s",), leader=leader)
+        orders[pid] = []
+        ab.on_deliver = (
+            lambda _i, d, pid=pid: orders[pid].append((d.sender, d.rbid))
+        )
+    return orders
+
+
+class TestHappyPath:
+    def test_total_order(self):
+        for seed in range(8):
+            net = seq_net(seed=seed)
+            orders = setup(net)
+            for pid in range(4):
+                net.stacks[pid].instance_at(("s",)).broadcast(b"m%d" % pid)
+            net.run()
+            reference = orders[0]
+            assert len(reference) == 4, f"seed {seed}"
+            assert all(o == reference for o in orders.values()), f"seed {seed}"
+
+    def test_sequence_dense_from_zero(self):
+        net = seq_net()
+        sequences = []
+        ab = net.stacks[1].create("seq-ab", ("s",), leader=0)
+        ab.on_deliver = lambda _i, d: sequences.append(d.sequence)
+        for pid in (0, 2, 3):
+            net.stacks[pid].create("seq-ab", ("s",), leader=0)
+        for pid in range(4):
+            net.stacks[pid].instance_at(("s",)).broadcast(b"x")
+        net.run()
+        assert sequences == [0, 1, 2, 3]
+
+    def test_cheaper_than_ritas_ab(self):
+        net_seq = seq_net()
+        setup(net_seq)
+        for pid in range(4):
+            net_seq.stacks[pid].instance_at(("s",)).broadcast(b"m")
+        seq_frames = net_seq.run()
+
+        net_ab = InstantNet(4)
+        for pid, stack in enumerate(net_ab.stacks):
+            stack.create("ab", ("a",))
+        for pid in range(4):
+            net_ab.stacks[pid].instance_at(("a",)).broadcast(b"m")
+        ab_frames = net_ab.run()
+        assert seq_frames < ab_frames
+
+
+class TestLeaderFailure:
+    def test_crashed_leader_halts_delivery(self):
+        net = seq_net(crashed={0})
+        orders = setup(net, leader=0)
+        for pid in (1, 2, 3):
+            net.stacks[pid].instance_at(("s",)).broadcast(b"m%d" % pid)
+        net.run()
+        assert all(order == [] for order in orders.values())
+
+    def test_ritas_ab_survives_the_same_crash(self):
+        """The punchline: same fault, RITAS keeps delivering."""
+        net = InstantNet(4, crashed={0})
+        orders = {}
+        for pid in (1, 2, 3):
+            ab = net.stacks[pid].create("ab", ("a",))
+            orders[pid] = []
+            ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+        for pid in (1, 2, 3):
+            net.stacks[pid].instance_at(("a",)).broadcast(b"m%d" % pid)
+        net.run()
+        assert all(len(order) == 3 for order in orders.values())
+
+    def test_malformed_order_records_ignored(self):
+        from repro.core.echo_broadcast import MSG_INIT
+
+        net = seq_net(crashed=set())
+        orders = setup(net, leader=0)
+        # A corrupt process forges an ordering record as if from p2 (not
+        # the leader); the EB instance is bound to the leader as sender,
+        # so the forgery is rejected at the broadcast layer.
+        net.stacks[2].send_frame(1, ("s", "ord", 0), MSG_INIT, [2, 0])
+        for pid in range(4):
+            net.stacks[pid].instance_at(("s",)).broadcast(b"m%d" % pid)
+        net.run()
+        reference = orders[0]
+        assert len(reference) == 4
+        assert all(o == reference for o in orders.values())

@@ -1,0 +1,150 @@
+"""Unit tests for the binary consensus congruence-validation formulas.
+
+These drive `_is_valid` directly (no network) by populating round
+state, checking each documented feasibility condition from
+docs/PROTOCOLS.md, including the n=5 even-quorum corner cases.
+"""
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.core.stack import Stack
+
+
+def make_bc(n=4):
+    stack = Stack(GroupConfig(n), 0, outbox=lambda d, b: None)
+    return stack.create("bc", ("bc",))
+
+
+def accept(bc, round_number, step, values):
+    """Force-accept a list of values at (round, step)."""
+    state = bc._round_state(round_number)
+    base = len(state.accepted[step])
+    for offset, value in enumerate(values):
+        sender = base + offset
+        state.accepted[step][sender] = value
+        state.counts[step][value] += 1
+
+
+class TestStep1Round1:
+    def test_always_valid(self):
+        bc = make_bc()
+        assert bc._is_valid(1, 1, 0)
+        assert bc._is_valid(1, 1, 1)
+
+
+class TestStep2:
+    """q = n - f = 3 for n=4: majority needs 2; tie rule favours 0."""
+
+    def test_needs_quorum_of_step1(self):
+        bc = make_bc()
+        accept(bc, 1, 1, [1, 1])
+        assert not bc._is_valid(1, 2, 1)  # only 2 step-1 values seen
+
+    def test_majority_one(self):
+        bc = make_bc()
+        accept(bc, 1, 1, [1, 1, 0])
+        assert bc._is_valid(1, 2, 1)
+        # 0 would need c0 >= ceil(q/2) = 2 (tie rule); only one 0 exists.
+        assert not bc._is_valid(1, 2, 0)
+
+    def test_zero_with_tie_support(self):
+        bc = make_bc()
+        accept(bc, 1, 1, [1, 1, 0, 0])
+        # Subset {1, 0, 0} gives majority 0; subset {1, 1, 0} gives 1.
+        assert bc._is_valid(1, 2, 0)
+        assert bc._is_valid(1, 2, 1)
+
+    def test_minority_value_invalid(self):
+        bc = make_bc()
+        accept(bc, 1, 1, [1, 1, 1])
+        assert bc._is_valid(1, 2, 1)
+        assert not bc._is_valid(1, 2, 0)
+
+    def test_even_quorum_tie_asymmetry(self):
+        """n=5 -> q=4: a 2-2 tie justifies 0 (the tie rule) but not 1."""
+        bc = make_bc(n=5)
+        accept(bc, 1, 1, [0, 0, 1, 1])
+        assert bc._is_valid(1, 2, 0)
+        assert not bc._is_valid(1, 2, 1)
+
+    def test_even_quorum_strict_majority_one(self):
+        bc = make_bc(n=5)
+        accept(bc, 1, 1, [1, 1, 1, 0])
+        assert bc._is_valid(1, 2, 1)
+
+
+class TestStep3:
+    """The bar is over n (see docs/PROTOCOLS.md): n=4 -> 3 copies."""
+
+    def test_value_needs_more_than_half_of_n(self):
+        bc = make_bc()
+        accept(bc, 1, 2, [1, 1, 0])
+        # c1=2 < floor(4/2)+1=3: not justifiable as a step-3 value...
+        assert not bc._is_valid(1, 3, 1)
+        # ...but ⊥ is (the subset {1,1,0} has no strict majority of n).
+        assert bc._is_valid(1, 3, None)
+
+    def test_unanimous_step2_justifies_value_not_bottom(self):
+        bc = make_bc()
+        accept(bc, 1, 2, [1, 1, 1])
+        assert bc._is_valid(1, 3, 1)
+        assert not bc._is_valid(1, 3, None)
+
+    def test_bottom_feasible_with_mixed_values(self):
+        bc = make_bc()
+        accept(bc, 1, 2, [1, 1, 0, 0])
+        assert bc._is_valid(1, 3, None)
+
+    def test_value_with_four_copies(self):
+        bc = make_bc()
+        accept(bc, 1, 2, [1, 1, 1, 0])
+        assert bc._is_valid(1, 3, 1)
+        assert not bc._is_valid(1, 3, 0)
+        assert bc._is_valid(1, 3, None)  # subset {1,1,0} exists
+
+
+class TestStep1NextRound:
+    def test_adopt_rule(self):
+        """f+1 = 2 copies at step 3 justify the value next round."""
+        bc = make_bc()
+        accept(bc, 1, 3, [1, 1, None])
+        assert bc._is_valid(2, 1, 1)
+
+    def test_coin_feasibility(self):
+        """With enough ⊥s, any bit is justifiable via the coin branch."""
+        bc = make_bc()
+        accept(bc, 1, 3, [None, None, 1])
+        assert bc._is_valid(2, 1, 0)
+        assert bc._is_valid(2, 1, 1)
+
+    def test_coin_branch_infeasible_after_strong_agreement(self):
+        """Three 1s at step 3: 0 has neither f+1 support nor a coin
+        subset (min(c1,f)+c⊥ = 1 < q), so 0 is unjustifiable."""
+        bc = make_bc()
+        accept(bc, 1, 3, [1, 1, 1])
+        assert bc._is_valid(2, 1, 1)
+        assert not bc._is_valid(2, 1, 0)
+
+    def test_missing_previous_round(self):
+        bc = make_bc()
+        assert not bc._is_valid(2, 1, 1)
+
+
+class TestPendingCascade:
+    def test_acceptance_cascades_across_steps(self):
+        """A step-2 value pending on step-1 evidence is accepted the
+        moment the evidence arrives, and can then unlock step 3."""
+        bc = make_bc()
+        state = bc._round_state(1)
+        state.broadcast_sent.add(1)
+        # Step-2 and step-3 values arrive before any step-1 value.
+        state.pending[2] = [(1, 1), (2, 1), (3, 1)]
+        state.pending[3] = [(1, 1)]
+        bc._drain_pending()
+        assert state.accepted[2] == {}
+        # Step-1 evidence lands; everything cascades.
+        state.pending[1] = [(1, 1), (2, 1), (3, 1)]
+        bc._drain_pending()
+        assert len(state.accepted[2]) == 3
+        assert len(state.accepted[3]) == 1

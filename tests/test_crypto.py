@@ -1,0 +1,169 @@
+"""Keys, MACs, hashing and coins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.coin import LocalCoin, SharedCoinDealer
+from repro.crypto.hashing import HASH_LEN, hash_bytes
+from repro.crypto.keys import KEY_LEN, KeyStore, TrustedDealer
+from repro.crypto.mac import mac, mac_vector, verify_mac
+
+import random
+
+
+class TestHashing:
+    def test_fixed_length(self):
+        assert len(hash_bytes(b"x")) == HASH_LEN
+
+    def test_deterministic(self):
+        assert hash_bytes(b"a", b"b") == hash_bytes(b"a", b"b")
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"a") != hash_bytes(b"b")
+
+    def test_injective_part_boundaries(self):
+        """Length prefixing: ("ab","c") must differ from ("a","bc")."""
+        assert hash_bytes(b"ab", b"c") != hash_bytes(b"a", b"bc")
+
+    def test_empty_parts(self):
+        assert hash_bytes() != hash_bytes(b"")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_property_concatenation_injective(self, a, b):
+        if (a, b) != (b, a):
+            assert hash_bytes(a, b) == hash_bytes(a, b)
+
+
+class TestTrustedDealer:
+    def test_pair_keys_symmetric(self):
+        dealer = TrustedDealer(4, seed=b"s")
+        for i in range(4):
+            for j in range(4):
+                assert dealer.pair_key(i, j) == dealer.pair_key(j, i)
+
+    def test_keystores_share_pairwise_keys(self):
+        dealer = TrustedDealer(4, seed=b"s")
+        ks = [dealer.keystore_for(i) for i in range(4)]
+        for i in range(4):
+            for j in range(4):
+                assert ks[i].key_for(j) == ks[j].key_for(i)
+
+    def test_distinct_pairs_distinct_keys(self):
+        dealer = TrustedDealer(4, seed=b"s")
+        keys = {dealer.pair_key(i, j) for i in range(4) for j in range(i, 4)}
+        assert len(keys) == 10  # C(4,2) + 4 self-keys
+
+    def test_deterministic_with_seed(self):
+        a = TrustedDealer(4, seed=b"same")
+        b = TrustedDealer(4, seed=b"same")
+        assert a.pair_key(0, 3) == b.pair_key(0, 3)
+
+    def test_different_seeds_differ(self):
+        a = TrustedDealer(4, seed=b"one")
+        b = TrustedDealer(4, seed=b"two")
+        assert a.pair_key(0, 3) != b.pair_key(0, 3)
+
+    def test_random_mode_produces_keys(self):
+        dealer = TrustedDealer(4)
+        assert len(dealer.pair_key(1, 2)) == KEY_LEN
+
+    def test_out_of_range_process(self):
+        dealer = TrustedDealer(4, seed=b"s")
+        with pytest.raises(ValueError):
+            dealer.keystore_for(4)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            TrustedDealer(0)
+
+
+class TestKeyStore:
+    def test_unknown_peer(self):
+        store = KeyStore(0, {0: b"k0", 1: b"k1"})
+        with pytest.raises(KeyError):
+            store.key_for(9)
+
+    def test_missing_self_key_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore(0, {1: b"k1"})
+
+    def test_peers_sorted(self):
+        store = KeyStore(1, {2: b"a", 0: b"b", 1: b"c"})
+        assert store.peers == [0, 1, 2]
+
+
+class TestMac:
+    def test_verify_roundtrip(self):
+        tag = mac(b"message", b"key")
+        assert verify_mac(b"message", b"key", tag)
+
+    def test_wrong_key_fails(self):
+        tag = mac(b"message", b"key")
+        assert not verify_mac(b"message", b"other", tag)
+
+    def test_wrong_message_fails(self):
+        tag = mac(b"message", b"key")
+        assert not verify_mac(b"other", b"key", tag)
+
+    def test_vector_layout(self, keystores4):
+        vector = mac_vector(b"m", keystores4[2])
+        assert len(vector) == 4
+        # Entry j verifies at process j under the shared key.
+        for j in range(4):
+            assert verify_mac(b"m", keystores4[j].key_for(2), vector[j])
+
+    def test_vector_entries_differ_across_peers(self, keystores4):
+        vector = mac_vector(b"m", keystores4[0])
+        assert len(set(vector)) == 4
+
+
+class TestLocalCoin:
+    def test_produces_bits(self):
+        coin = LocalCoin(random.Random(1))
+        tosses = {coin.toss(b"i", r) for r in range(64)}
+        assert tosses == {0, 1}
+
+    def test_roughly_unbiased(self):
+        coin = LocalCoin(random.Random(2))
+        total = sum(coin.toss(b"i", r) for r in range(2000))
+        assert 800 < total < 1200
+
+    def test_independent_coins_independent_streams(self):
+        a = LocalCoin(random.Random(3))
+        b = LocalCoin(random.Random(4))
+        seq_a = [a.toss(b"", r) for r in range(64)]
+        seq_b = [b.toss(b"", r) for r in range(64)]
+        assert seq_a != seq_b
+
+    def test_default_system_random(self):
+        coin = LocalCoin()
+        assert coin.toss(b"x", 0) in (0, 1)
+
+
+class TestSharedCoin:
+    def test_all_holders_agree(self):
+        dealer = SharedCoinDealer(secret=b"s" * 32)
+        coins = [dealer.coin_for(pid) for pid in range(4)]
+        for round_number in range(32):
+            tosses = {c.toss(b"inst", round_number) for c in coins}
+            assert len(tosses) == 1
+
+    def test_varies_across_rounds(self):
+        coin = SharedCoinDealer(secret=b"s" * 32).coin_for(0)
+        tosses = {coin.toss(b"inst", r) for r in range(64)}
+        assert tosses == {0, 1}
+
+    def test_varies_across_instances(self):
+        coin = SharedCoinDealer(secret=b"s" * 32).coin_for(0)
+        seq_a = [coin.toss(b"a", r) for r in range(64)]
+        seq_b = [coin.toss(b"b", r) for r in range(64)]
+        assert seq_a != seq_b
+
+    def test_different_dealers_differ(self):
+        a = SharedCoinDealer(secret=b"a" * 32).coin_for(0)
+        b = SharedCoinDealer(secret=b"b" * 32).coin_for(0)
+        assert [a.toss(b"i", r) for r in range(64)] != [
+            b.toss(b"i", r) for r in range(64)
+        ]

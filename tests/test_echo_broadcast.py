@@ -1,0 +1,249 @@
+"""Matrix echo broadcast: MAC vectors, matrix assembly, delivery rules."""
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.core.echo_broadcast import MSG_INIT, MSG_MAT, MSG_VECT
+from repro.core.errors import ProtocolViolationError
+from repro.core.stack import Stack
+from repro.core.wire import decode_frame, encode_frame, encode_value
+from repro.crypto.hashing import HASH_LEN
+from repro.crypto.keys import TrustedDealer
+from repro.crypto.mac import mac
+
+from util import InstantNet, ShuffleNet
+
+
+def lone_stack(pid, dealer):
+    sent = []
+    stack = Stack(
+        GroupConfig(4),
+        pid,
+        outbox=lambda d, b: sent.append((d, b)),
+        keystore=dealer.keystore_for(pid),
+    )
+    return stack, sent
+
+
+@pytest.fixture
+def dealer():
+    return TrustedDealer(4, seed=b"eb-tests")
+
+
+class TestReceiverSide:
+    def test_init_triggers_vect_to_sender_only(self, dealer):
+        stack, sent = lone_stack(1, dealer)
+        stack.create("eb", ("e",), sender=0)
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"m"))
+        assert len(sent) == 1
+        dest, data = sent[0]
+        assert dest == 0
+        _, mtype, vector = decode_frame(data)
+        assert mtype == MSG_VECT
+        assert len(vector) == 4
+        # Entry j is H(m, s_1j).
+        encoded = encode_value(b"m")
+        for j in range(4):
+            assert vector[j] == mac(encoded, dealer.pair_key(1, j))
+
+    def test_valid_column_delivers(self, dealer):
+        stack, _ = lone_stack(1, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        delivered = []
+        eb.on_deliver = lambda _i, v: delivered.append(v)
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"m"))
+        encoded = encode_value(b"m")
+        column = [[i, mac(encoded, dealer.pair_key(i, 1))] for i in (0, 2, 3)]
+        stack.receive(0, encode_frame(("e",), MSG_MAT, column))
+        assert delivered == [b"m"]
+
+    def test_f_plus_one_valid_hashes_suffice(self, dealer):
+        stack, _ = lone_stack(1, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        delivered = []
+        eb.on_deliver = lambda _i, v: delivered.append(v)
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"m"))
+        encoded = encode_value(b"m")
+        column = [
+            [0, mac(encoded, dealer.pair_key(0, 1))],
+            [2, mac(encoded, dealer.pair_key(2, 1))],
+            [3, b"\x00" * HASH_LEN],  # one bogus row
+        ]
+        stack.receive(0, encode_frame(("e",), MSG_MAT, column))
+        assert delivered == [b"m"]
+
+    def test_too_few_valid_hashes_no_delivery(self, dealer):
+        stack, _ = lone_stack(1, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        delivered = []
+        eb.on_deliver = lambda _i, v: delivered.append(v)
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"m"))
+        encoded = encode_value(b"m")
+        column = [
+            [0, mac(encoded, dealer.pair_key(0, 1))],
+            [2, b"\x00" * HASH_LEN],
+            [3, b"\x00" * HASH_LEN],
+        ]
+        stack.receive(0, encode_frame(("e",), MSG_MAT, column))
+        assert delivered == []
+
+    def test_column_for_wrong_message_rejected(self, dealer):
+        """MACs bind the column to the INIT payload."""
+        stack, _ = lone_stack(1, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        delivered = []
+        eb.on_deliver = lambda _i, v: delivered.append(v)
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"real"))
+        encoded_other = encode_value(b"forged")
+        column = [[i, mac(encoded_other, dealer.pair_key(i, 1))] for i in (0, 2, 3)]
+        stack.receive(0, encode_frame(("e",), MSG_MAT, column))
+        assert delivered == []
+
+    def test_duplicate_row_indices_rejected(self, dealer):
+        stack, _ = lone_stack(1, dealer)
+        stack.create("eb", ("e",), sender=0)
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"m"))
+        encoded = encode_value(b"m")
+        tag = mac(encoded, dealer.pair_key(0, 1))
+        column = [[0, tag], [0, tag], [0, tag]]
+        stack.receive(0, encode_frame(("e",), MSG_MAT, column))
+        assert stack.stats.dropped["protocol-violation"] == 1
+
+    def test_mat_before_init_held_until_init(self, dealer):
+        stack, _ = lone_stack(1, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        delivered = []
+        eb.on_deliver = lambda _i, v: delivered.append(v)
+        encoded = encode_value(b"m")
+        column = [[i, mac(encoded, dealer.pair_key(i, 1))] for i in (0, 2, 3)]
+        stack.receive(0, encode_frame(("e",), MSG_MAT, column))
+        assert delivered == []
+        stack.receive(0, encode_frame(("e",), MSG_INIT, b"m"))
+        assert delivered == [b"m"]
+
+    def test_init_from_non_sender_rejected(self, dealer):
+        stack, sent = lone_stack(1, dealer)
+        stack.create("eb", ("e",), sender=0)
+        stack.receive(2, encode_frame(("e",), MSG_INIT, b"m"))
+        assert sent == []
+        assert stack.stats.dropped["protocol-violation"] == 1
+
+    def test_broadcast_by_non_sender_rejected(self, dealer):
+        stack, _ = lone_stack(1, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        with pytest.raises(ProtocolViolationError):
+            eb.broadcast(b"nope")
+
+
+class TestSenderSide:
+    def test_sender_builds_matrix_after_quorum(self, dealer):
+        stack, sent = lone_stack(0, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        eb.broadcast(b"m")
+        init_frames = len(sent)
+        assert init_frames == 4
+        encoded = encode_value(b"m")
+        # Two peer vectors + the sender's own (delivered via loopback in a
+        # real run; feed all three manually here).
+        for peer in (0, 1, 2):
+            vector = [mac(encoded, dealer.pair_key(peer, j)) for j in range(4)]
+            stack.receive(peer, encode_frame(("e",), MSG_VECT, vector))
+        mats = sent[init_frames:]
+        assert len(mats) == 4
+        # Column j goes to process j and contains rows (0, 1, 2).
+        for j, (dest, data) in enumerate(mats):
+            assert dest == j
+            _, mtype, column = decode_frame(data)
+            assert mtype == MSG_MAT
+            assert [row for row, _tag in column] == [0, 1, 2]
+            for row, tag in column:
+                assert tag == mac(encoded, dealer.pair_key(row, j))
+
+    def test_malformed_vector_rejected(self, dealer):
+        stack, sent = lone_stack(0, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        eb.broadcast(b"m")
+        stack.receive(1, encode_frame(("e",), MSG_VECT, [b"short"]))
+        assert stack.stats.dropped["protocol-violation"] == 1
+
+    def test_duplicate_vectors_counted_once(self, dealer):
+        stack, sent = lone_stack(0, dealer)
+        eb = stack.create("eb", ("e",), sender=0)
+        eb.broadcast(b"m")
+        before = len(sent)
+        encoded = encode_value(b"m")
+        vector = [mac(encoded, dealer.pair_key(1, j)) for j in range(4)]
+        stack.receive(1, encode_frame(("e",), MSG_VECT, vector))
+        stack.receive(1, encode_frame(("e",), MSG_VECT, vector))
+        assert len(sent) == before  # still waiting for a third distinct row
+
+
+class TestEndToEnd:
+    def test_all_deliver_from_correct_sender(self):
+        net = InstantNet(4)
+        got = {}
+        for pid, stack in enumerate(net.stacks):
+            eb = stack.create("eb", ("e",), sender=3)
+            eb.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+        net.stacks[3].instance_at(("e",)).broadcast(b"payload")
+        net.run()
+        assert got == {pid: b"payload" for pid in range(4)}
+
+    def test_shuffled_schedules(self):
+        for seed in range(10):
+            net = ShuffleNet(4, seed=seed)
+            got = {}
+            for pid, stack in enumerate(net.stacks):
+                eb = stack.create("eb", ("e",), sender=0)
+                eb.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+            net.stacks[0].instance_at(("e",)).broadcast(b"p")
+            net.run()
+            assert got == {pid: b"p" for pid in range(4)}, f"seed {seed}"
+
+    def test_corrupt_sender_deliverers_agree(self):
+        """A corrupt sender can split delivery but never its content:
+        all correct processes that deliver, deliver the same message."""
+        from repro.crypto.mac import mac as mk_mac
+
+        for seed in range(6):
+            net = ShuffleNet(4, seed=seed)
+            got = {}
+            for pid in range(1, 4):
+                eb = net.stacks[pid].create("eb", ("e",), sender=0)
+                eb.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+            # Byzantine p0: INIT m1 to p1/p2, INIT m2 to p3; then gathers
+            # vectors and sends whatever columns it can assemble.
+            net.stacks[0].send_frame(1, ("e",), MSG_INIT, b"m1")
+            net.stacks[0].send_frame(2, ("e",), MSG_INIT, b"m1")
+            net.stacks[0].send_frame(3, ("e",), MSG_INIT, b"m2")
+            net.run()
+            # Honest receivers replied with VECTs for the m they saw; the
+            # attacker cannot mix them into an f+1-valid column for both
+            # messages, because only one vector ever covers m2.
+            values = set(got.values())
+            assert len(values) <= 1, f"seed {seed}: split delivery {got}"
+
+    def test_larger_group(self):
+        net = InstantNet(7)
+        got = {}
+        for pid, stack in enumerate(net.stacks):
+            eb = stack.create("eb", ("e",), sender=0)
+            eb.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+        net.stacks[0].instance_at(("e",)).broadcast(b"seven")
+        net.run()
+        assert len(got) == 7
+
+    def test_message_cheaper_than_rb(self):
+        """The whole point of echo broadcast: fewer frames than RB."""
+        net_eb = InstantNet(4)
+        for pid, stack in enumerate(net_eb.stacks):
+            stack.create("eb", ("e",), sender=0)
+        net_eb.stacks[0].instance_at(("e",)).broadcast(b"m")
+        eb_frames = net_eb.run()
+
+        net_rb = InstantNet(4)
+        for pid, stack in enumerate(net_rb.stacks):
+            stack.create("rb", ("r",), sender=0)
+        net_rb.stacks[0].instance_at(("r",)).broadcast(b"m")
+        rb_frames = net_rb.run()
+        assert eb_frames < rb_frames

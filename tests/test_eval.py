@@ -1,0 +1,130 @@
+"""The evaluation harness: methodology checks and paper-shape assertions.
+
+These are the repository's "does the reproduction reproduce" tests --
+quick versions of the claims EXPERIMENTS.md documents, kept small enough
+for CI.
+"""
+
+import pytest
+
+from repro.eval.atomic_burst import run_burst
+from repro.eval.paper_data import TABLE1_US
+from repro.eval.report import (
+    format_burst_sweep,
+    format_fig7,
+    format_table1,
+    tmax_by_size,
+)
+from repro.eval.stack_analysis import (
+    PROTOCOL_ORDER,
+    latency_table,
+    measure_protocol_latency,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return latency_table(runs=2, seed=3)
+
+
+class TestTable1:
+    def test_all_protocols_measured(self, table1_rows):
+        assert [row.protocol for row in table1_rows] == list(PROTOCOL_ORDER)
+
+    def test_latency_ordering_matches_paper(self, table1_rows):
+        """EB < RB < BC < MVC < VC < AB, both with and without IPSec."""
+        with_ipsec = [row.with_ipsec_us for row in table1_rows]
+        without = [row.without_ipsec_us for row in table1_rows]
+        assert with_ipsec == sorted(with_ipsec)
+        assert without == sorted(without)
+
+    def test_ipsec_always_costs(self, table1_rows):
+        for row in table1_rows:
+            assert 0.0 < row.ipsec_overhead < 1.0
+
+    def test_ratios_within_2x_of_paper(self, table1_rows):
+        """Shape: each adjacent-layer latency ratio within 2x of paper's."""
+        ours = {row.protocol: row.with_ipsec_us for row in table1_rows}
+        paper = {proto: TABLE1_US[proto]["ipsec"] for proto in PROTOCOL_ORDER}
+        for upper, lower in [("bc", "rb"), ("mvc", "bc"), ("vc", "mvc"), ("ab", "mvc")]:
+            ours_ratio = ours[upper] / ours[lower]
+            paper_ratio = paper[upper] / paper[lower]
+            assert 0.5 < ours_ratio / paper_ratio < 2.0, (upper, lower)
+
+    def test_absolute_within_3x_of_paper(self, table1_rows):
+        for row in table1_rows:
+            paper_value = TABLE1_US[row.protocol]["ipsec"]
+            assert paper_value / 3 < row.with_ipsec_us < paper_value * 3
+
+    def test_measure_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            measure_protocol_latency("nope")
+
+    def test_report_renders(self, table1_rows):
+        text = format_table1(table1_rows)
+        assert "Reliable Broadcast" in text
+        assert "paper" in text
+
+
+class TestBurstMethodology:
+    def test_result_fields_consistent(self):
+        result = run_burst(16, 10, "failure-free", seed=7)
+        assert result.delivered == 16
+        assert result.throughput_msgs_s == pytest.approx(
+            16 / result.latency_s
+        )
+        assert 0.0 <= result.agreement_cost <= 1.0
+        assert result.agreement_broadcasts <= result.total_broadcasts
+
+    def test_all_faultloads_run(self):
+        for faultload in ("failure-free", "fail-stop", "byzantine"):
+            result = run_burst(8, 10, faultload, seed=7)
+            assert result.delivered == 8
+            assert result.faultload == faultload
+
+    def test_unknown_faultload_rejected(self):
+        with pytest.raises(ValueError):
+            run_burst(8, 10, "meteor-strike")
+
+    def test_observer_must_be_correct(self):
+        with pytest.raises(ValueError):
+            run_burst(8, 10, "fail-stop", observer=3)
+
+    def test_one_round_consensus_claim(self):
+        """Section 4.3: all consensus decides in one round, all faultloads."""
+        for faultload in ("failure-free", "fail-stop", "byzantine"):
+            result = run_burst(32, 10, faultload, seed=7)
+            assert result.max_bc_rounds == 1, faultload
+            assert result.mvc_default_decisions == 0, faultload
+
+    def test_two_agreements_per_burst_claim(self):
+        result = run_burst(64, 10, "failure-free", seed=7)
+        assert result.agreements <= 3
+
+    def test_fail_stop_faster_claim(self):
+        free = run_burst(64, 10, "failure-free", seed=7)
+        stop = run_burst(64, 10, "fail-stop", seed=7)
+        assert stop.latency_s < free.latency_s
+
+    def test_byzantine_close_to_failure_free_claim(self):
+        free = run_burst(64, 10, "failure-free", seed=7)
+        byz = run_burst(64, 10, "byzantine", seed=7)
+        assert abs(byz.latency_s / free.latency_s - 1) < 0.25
+
+    def test_agreement_cost_dilutes_claim(self):
+        small = run_burst(4, 10, "failure-free", seed=7)
+        large = run_burst(256, 10, "failure-free", seed=7)
+        assert small.agreement_cost > 0.8
+        assert large.agreement_cost < 0.2
+        assert large.agreement_cost < small.agreement_cost
+
+    def test_throughput_decreases_with_message_size(self):
+        t_small = run_burst(64, 10, "failure-free", seed=7).throughput_msgs_s
+        t_large = run_burst(64, 10000, "failure-free", seed=7).throughput_msgs_s
+        assert t_large < t_small
+
+    def test_reports_render(self):
+        results = [run_burst(k, 10, "failure-free", seed=7) for k in (4, 16)]
+        assert "latency" in format_burst_sweep(results, "t")
+        assert "paper anchors" in format_fig7(results)
+        assert tmax_by_size(results)[10] > 0

@@ -1,0 +1,143 @@
+"""The whole stack at group sizes beyond the paper's n=4.
+
+n=5 and n=6 exercise the even ``n-f`` corner cases of the binary
+consensus majority/validation math (tie rules); n=7 exercises f=2
+(two simultaneous faults).
+"""
+
+import pytest
+
+from util import InstantNet, ShuffleNet, decisions_of
+
+SIZES = [5, 6, 7]
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestBinaryConsensus:
+    def test_unanimous(self, n):
+        net = InstantNet(n)
+        for stack in net.stacks:
+            stack.create("bc", ("b",))
+        for stack in net.stacks:
+            stack.instance_at(("b",)).propose(1)
+        net.run()
+        assert decisions_of(net, ("b",)) == [1] * n
+
+    def test_split_agrees_on_shuffles(self, n):
+        for seed in range(6):
+            net = ShuffleNet(n, seed=seed)
+            for stack in net.stacks:
+                stack.create("bc", ("b",))
+            for pid, stack in enumerate(net.stacks):
+                stack.instance_at(("b",)).propose(pid % 2)
+            net.run()
+            decisions = decisions_of(net, ("b",))
+            assert len(set(decisions)) == 1, f"n={n} seed={seed}: {decisions}"
+
+    def test_max_crashes(self, n):
+        f = (n - 1) // 3
+        crashed = set(range(n - f, n))
+        net = InstantNet(n, crashed=crashed)
+        for pid, stack in enumerate(net.stacks):
+            if pid not in crashed:
+                stack.create("bc", ("b",))
+        for pid, stack in enumerate(net.stacks):
+            if pid not in crashed:
+                stack.instance_at(("b",)).propose(0)
+        net.run()
+        assert decisions_of(net, ("b",)) == [0] * (n - f)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestMvc:
+    def test_unanimous(self, n):
+        net = InstantNet(n)
+        for stack in net.stacks:
+            stack.create("mvc", ("m",))
+        for stack in net.stacks:
+            stack.instance_at(("m",)).propose(b"v")
+        net.run()
+        assert decisions_of(net, ("m",)) == [b"v"] * n
+
+    def test_mixed_on_shuffles(self, n):
+        for seed in range(4):
+            net = ShuffleNet(n, seed=seed)
+            for stack in net.stacks:
+                stack.create("mvc", ("m",))
+            for pid, stack in enumerate(net.stacks):
+                stack.instance_at(("m",)).propose(b"a" if pid % 2 else b"b")
+            net.run()
+            decisions = decisions_of(net, ("m",))
+            assert len({repr(d) for d in decisions}) == 1, f"n={n} seed={seed}"
+            assert decisions[0] in (None, b"a", b"b")
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestVectorConsensus:
+    def test_vector_properties(self, n):
+        net = InstantNet(n)
+        proposals = [b"p%d" % pid for pid in range(n)]
+        for stack in net.stacks:
+            stack.create("vc", ("v",))
+        for pid, stack in enumerate(net.stacks):
+            stack.instance_at(("v",)).propose(proposals[pid])
+        net.run()
+        decisions = decisions_of(net, ("v",))
+        vector = decisions[0]
+        assert all(d == vector for d in decisions)
+        assert len(vector) == n
+        f = (n - 1) // 3
+        assert sum(1 for slot in vector if slot is not None) >= f + 1
+        for pid, slot in enumerate(vector):
+            assert slot in (None, proposals[pid])
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestAtomicBroadcast:
+    def test_total_order(self, n):
+        net = InstantNet(n)
+        orders = {}
+        for pid, stack in enumerate(net.stacks):
+            ab = stack.create("ab", ("a",))
+            orders[pid] = []
+            ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+        for pid in range(n):
+            net.stacks[pid].instance_at(("a",)).broadcast(b"m%d" % pid)
+        net.run()
+        reference = orders[0]
+        assert len(reference) == n
+        assert all(order == reference for order in orders.values())
+
+    def test_total_order_with_max_crashes_shuffled(self, n):
+        f = (n - 1) // 3
+        crashed = set(range(n - f, n))
+        for seed in range(3):
+            net = ShuffleNet(n, seed=seed, crashed=crashed)
+            orders = {}
+            for pid, stack in enumerate(net.stacks):
+                if pid in crashed:
+                    continue
+                ab = stack.create("ab", ("a",))
+                orders[pid] = []
+                ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+            for pid in range(n):
+                if pid not in crashed:
+                    net.stacks[pid].instance_at(("a",)).broadcast(b"x%d" % pid)
+            net.run()
+            reference = next(iter(orders.values()))
+            assert len(reference) == n - len(crashed), f"n={n} seed={seed}"
+            assert all(o == reference for o in orders.values()), f"n={n} seed={seed}"
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestBroadcasts:
+    def test_rb_and_eb_deliver(self, n):
+        for kind in ("rb", "eb"):
+            net = InstantNet(n)
+            got = {}
+            for pid, stack in enumerate(net.stacks):
+                inst = stack.create(kind, ("x",), sender=0)
+                inst.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+            net.stacks[0].instance_at(("x",)).broadcast(b"m")
+            net.run()
+            assert got == {pid: b"m" for pid in range(n)}, kind

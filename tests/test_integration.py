@@ -1,0 +1,166 @@
+"""Cross-layer integration scenarios on the full LAN simulation."""
+
+import pytest
+
+from repro import FaultPlan, LanSimulation
+from repro.adversary import byzantine_paper_faultload
+from repro.apps import ReplicatedKvStore
+from repro.net.network import WAN_EMULATED
+
+
+class TestFullStackScenarios:
+    def test_concurrent_independent_instances(self):
+        """Several protocol instances interleave on one stack without
+        cross-talk (control-block chaining demultiplexes them)."""
+        sim = LanSimulation(n=4, seed=21)
+        results = {"bc": [None] * 4, "mvc": [None] * 4}
+        for pid, stack in enumerate(sim.stacks):
+            bc = stack.create("bc", ("vote", 1))
+            bc.on_deliver = lambda _i, v, pid=pid: results["bc"].__setitem__(pid, v)
+            mvc = stack.create("mvc", ("cfg", 1))
+            mvc.on_deliver = lambda _i, v, pid=pid: results["mvc"].__setitem__(pid, v)
+        for pid, stack in enumerate(sim.stacks):
+            stack.instance_at(("vote", 1)).propose(1)
+            stack.instance_at(("cfg", 1)).propose(b"settings")
+        sim.run(
+            until=lambda: all(v is not None for vs in results.values() for v in vs)
+        )
+        assert results["bc"] == [1] * 4
+        assert results["mvc"] == [b"settings"] * 4
+
+    def test_sequential_sessions_share_stack(self):
+        sim = LanSimulation(n=4, seed=22)
+        for round_index in range(3):
+            done = [None] * 4
+            for pid, stack in enumerate(sim.stacks):
+                bc = stack.create("bc", ("seq", round_index))
+                bc.on_deliver = lambda _i, v, pid=pid: done.__setitem__(pid, v)
+            for stack in sim.stacks:
+                stack.instance_at(("seq", round_index)).propose(round_index % 2)
+            sim.run(until=lambda: all(v is not None for v in done))
+            assert done == [round_index % 2] * 4
+
+    def test_instance_destroy_frees_resources(self):
+        sim = LanSimulation(n=4, seed=23)
+        done = [None] * 4
+        for pid, stack in enumerate(sim.stacks):
+            bc = stack.create("bc", ("gc",))
+            bc.on_deliver = lambda _i, v, pid=pid: done.__setitem__(pid, v)
+        for stack in sim.stacks:
+            stack.instance_at(("gc",)).propose(1)
+        sim.run(until=lambda: all(v is not None for v in done))
+        sim.run()  # quiesce
+        for stack in sim.stacks:
+            before = stack.live_instances
+            assert before > 0
+            stack.instance_at(("gc",)).destroy()
+            assert stack.live_instances == 0
+
+    def test_kv_store_with_byzantine_and_late_writes(self):
+        plan = FaultPlan.with_byzantine(1, byzantine_paper_faultload)
+        sim = LanSimulation(n=4, seed=24, fault_plan=plan)
+        stores = []
+        for pid, stack in enumerate(sim.stacks):
+            stores.append(ReplicatedKvStore(stack.create("ab", ("kv",))))
+        stores[0].put("first", b"1")
+        sim.run(until=lambda: all(len(s.rsm.applied) >= 1 for s in stores))
+        stores[2].put("second", b"2")
+        stores[3].put("third", b"3")
+        sim.run(until=lambda: all(len(s.rsm.applied) >= 3 for s in stores))
+        correct = [stores[pid] for pid in (0, 2, 3)]
+        assert len({s.state_digest() for s in correct}) == 1
+        assert correct[0].keys() == ["first", "second", "third"]
+
+    def test_crash_mid_run(self):
+        """A process crashing *during* a burst: the rest finish and agree."""
+        plan = FaultPlan(crashed={2: 0.010})
+        sim = LanSimulation(n=4, seed=25, fault_plan=plan)
+        orders = {pid: [] for pid in (0, 1, 3)}
+        for pid in range(4):
+            ab = sim.stacks[pid].create("ab", ("burst",))
+            if pid in orders:
+                ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+        for pid in (0, 1, 3):
+            for k in range(5):
+                sim.stacks[pid].instance_at(("burst",)).broadcast(b"m%d%d" % (pid, k))
+        reason = sim.run(
+            until=lambda: all(len(o) >= 15 for o in orders.values()), max_time=60
+        )
+        assert reason == "until"
+        assert all(o == orders[0] for o in orders.values())
+
+    def test_wan_parameters_still_correct(self):
+        """Correctness is timing-independent: the WAN preset with jitter
+        changes latencies, never outcomes."""
+        sim = LanSimulation(n=4, seed=26, params=WAN_EMULATED, jitter_s=0.01)
+        done = [None] * 4
+        for pid, stack in enumerate(sim.stacks):
+            mvc = stack.create("mvc", ("wan",))
+            mvc.on_deliver = lambda _i, v, pid=pid: done.__setitem__(pid, v)
+        for stack in sim.stacks:
+            stack.instance_at(("wan",)).propose(b"over-the-wan")
+        reason = sim.run(until=lambda: all(v is not None for v in done), max_time=300)
+        assert reason == "until"
+        assert done == [b"over-the-wan"] * 4
+
+    def test_big_payload_through_the_stack(self):
+        sim = LanSimulation(n=4, seed=27)
+        payload = bytes(range(256)) * 256  # 64 KiB
+        got = [None] * 4
+        for pid, stack in enumerate(sim.stacks):
+            ab = stack.create("ab", ("big",))
+            ab.on_deliver = lambda _i, d, pid=pid: got.__setitem__(pid, d.payload)
+        sim.stacks[1].instance_at(("big",)).broadcast(payload)
+        sim.run(until=lambda: all(g is not None for g in got), max_time=120)
+        assert all(g == payload for g in got)
+
+    def test_ooc_pressure_does_not_break_late_starter(self):
+        """One process creates its AB instance only after traffic started:
+        the OOC table holds early frames and replays them on creation."""
+        sim = LanSimulation(n=4, seed=28)
+        orders = {pid: [] for pid in range(4)}
+        for pid in range(3):
+            ab = sim.stacks[pid].create("ab", ("late",))
+            ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+        sim.stacks[0].instance_at(("late",)).broadcast(b"early")
+
+        def create_late():
+            ab = sim.stacks[3].create("ab", ("late",))
+            ab.on_deliver = lambda _i, d: orders[3].append(d.msg_id)
+
+        sim.loop.schedule(0.004, create_late)
+        sim.run(until=lambda: all(len(o) == 1 for o in orders.values()), max_time=60)
+        assert all(o == orders[0] for o in orders.values())
+        assert sim.stacks[3].stats.ooc_drained > 0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def trace(seed):
+            sim = LanSimulation(n=4, seed=seed)
+            events = []
+            for pid, stack in enumerate(sim.stacks):
+                ab = stack.create("ab", ("d",))
+                ab.on_deliver = lambda _i, d, pid=pid: events.append(
+                    (round(sim.now, 9), pid, d.msg_id)
+                )
+            for pid in range(4):
+                sim.stacks[pid].instance_at(("d",)).broadcast(b"m%d" % pid)
+            sim.run(until=lambda: len(events) == 16)
+            return events
+
+        assert trace(99) == trace(99)
+
+    def test_different_seeds_may_differ_in_timing(self):
+        def end_time(seed):
+            sim = LanSimulation(n=4, seed=seed, jitter_s=0.001)
+            done = [None] * 4
+            for pid, stack in enumerate(sim.stacks):
+                bc = stack.create("bc", ("t",))
+                bc.on_deliver = lambda _i, v, pid=pid: done.__setitem__(pid, v)
+            for stack in sim.stacks:
+                stack.instance_at(("t",)).propose(1)
+            sim.run(until=lambda: all(v is not None for v in done))
+            return sim.now
+
+        assert end_time(1) != end_time(2)

@@ -1,0 +1,187 @@
+"""The distributed lock service: mutual exclusion, FIFO handover,
+agreement across replicas, Byzantine resilience."""
+
+from repro.adversary import byzantine_paper_faultload
+from repro.apps.lock_service import DistributedLockService
+from repro.core.stack import ProtocolFactory
+
+from util import InstantNet, ShuffleNet
+
+
+def make_services(net):
+    services = []
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            services.append(None)
+            continue
+        services.append(DistributedLockService(stack.create("ab", ("lock",))))
+    return services
+
+
+class TestMutualExclusion:
+    def test_first_acquire_granted(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        services[0].acquire("db")
+        net.run()
+        assert all(s.holder("db") == (0, "default") for s in services)
+
+    def test_contenders_queue_fifo(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        for pid in range(4):
+            services[pid].acquire("db")
+        net.run()
+        holder = services[0].holder("db")
+        waiters = services[0].waiters("db")
+        assert holder is not None
+        assert len(waiters) == 3
+        # All replicas agree on holder and queue.
+        for service in services:
+            assert service.holder("db") == holder
+            assert service.waiters("db") == waiters
+
+    def test_release_hands_over_in_order(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        for pid in range(3):
+            services[pid].acquire("db")
+        net.run()
+        first = services[0].holder("db")
+        queue = services[0].waiters("db")
+        services[first[0]].release("db")
+        net.run()
+        assert all(s.holder("db") == queue[0] for s in services)
+
+    def test_release_by_non_holder_rejected(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        services[0].acquire("db")
+        net.run()
+        services[1].release("db")
+        net.run()
+        assert services[2].holder("db") == (0, "default")
+
+    def test_full_release_chain_empties_lock(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        for pid in range(4):
+            services[pid].acquire("db")
+        net.run()
+        for _ in range(4):
+            holder = services[0].holder("db")
+            services[holder[0]].release("db")
+            net.run()
+        assert all(s.holder("db") is None for s in services)
+        assert all(s.waiters("db") == [] for s in services)
+
+    def test_duplicate_acquire_is_idempotent(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        services[0].acquire("db")
+        services[0].acquire("db")
+        net.run()
+        assert services[1].waiters("db") == []
+
+    def test_client_tags_are_independent(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        services[0].acquire("db", client_tag="alpha")
+        services[0].acquire("db", client_tag="beta")
+        net.run()
+        assert services[0].held_by_me("db", "alpha")
+        assert not services[0].held_by_me("db", "beta")
+        assert services[2].waiters("db") == [(0, "beta")]
+
+    def test_independent_locks(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        services[0].acquire("a")
+        services[1].acquire("b")
+        net.run()
+        assert services[2].holder("a") == (0, "default")
+        assert services[2].holder("b") == (1, "default")
+        assert services[2].locks() == ["a", "b"]
+
+
+class TestGrantNotifications:
+    def test_immediate_grant_notifies(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        grants = []
+        services[0].on_granted = lambda name, holder: grants.append((name, holder))
+        services[0].acquire("db")
+        net.run()
+        assert grants == [("db", (0, "default"))]
+
+    def test_handover_notifies_next_waiter(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        grants = []
+        services[1].on_granted = lambda name, holder: grants.append((name, holder))
+        services[0].acquire("db")
+        net.run()
+        services[1].acquire("db")
+        net.run()
+        assert grants == []  # still queued
+        services[0].release("db")
+        net.run()
+        assert grants == [("db", (1, "default"))]
+
+    def test_no_notification_for_remote_grants(self):
+        net = InstantNet(4)
+        services = make_services(net)
+        grants = []
+        services[2].on_granted = lambda name, holder: grants.append(holder)
+        services[0].acquire("db")
+        net.run()
+        assert grants == []
+
+
+class TestAgreementUnderAdversity:
+    def test_shuffled_schedules_agree_on_holder(self):
+        for seed in range(8):
+            net = ShuffleNet(4, seed=seed)
+            services = make_services(net)
+            for pid in range(4):
+                services[pid].acquire("contested")
+            net.run()
+            holders = {s.holder("contested") for s in services}
+            assert len(holders) == 1, f"seed {seed}"
+            queues = {tuple(s.waiters("contested")) for s in services}
+            assert len(queues) == 1, f"seed {seed}"
+
+    def test_byzantine_replica_cannot_steal_locks(self):
+        factory = byzantine_paper_faultload(ProtocolFactory.default())
+        for seed in range(5):
+            net = ShuffleNet(4, seed=seed, factories={3: factory})
+            services = make_services(net)
+            services[0].acquire("db")
+            net.run()
+            # The Byzantine replica requests too; it queues like anyone.
+            services[3].acquire("db")
+            net.run()
+            correct = services[:3]
+            assert all(s.holder("db") == (0, "default") for s in correct), seed
+
+    def test_crashed_replica_does_not_block_others(self):
+        net = InstantNet(4, crashed={2})
+        services = make_services(net)
+        services[0].acquire("db")
+        services[1].acquire("db")
+        net.run()
+        live = [services[pid] for pid in (0, 1, 3)]
+        assert all(s.holder("db") == (0, "default") for s in live)
+        services[0].release("db")
+        net.run()
+        assert all(s.holder("db") == (1, "default") for s in live)
+
+    def test_ill_typed_commands_are_noops(self):
+        from repro.apps.state_machine import Command
+
+        net = InstantNet(4)
+        services = make_services(net)
+        services[0].acquire("db")
+        services[3].rsm.submit(Command("acquire", ["db", "not-an-int", 7]))
+        net.run()
+        assert all(s.holder("db") == (0, "default") for s in services)

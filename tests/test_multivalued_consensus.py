@@ -1,0 +1,167 @@
+"""Multi-valued consensus: agreement, validity, the ⊥ default, and the
+Section 4.2 Byzantine attack."""
+
+import pytest
+
+from repro.core.errors import ProtocolViolationError
+from repro.core.stack import ProtocolFactory
+from repro.adversary import DefaultValueMultiValuedConsensus
+
+from util import InstantNet, ShuffleNet, decisions_of
+
+
+def run_mvc(net, proposals, path=("mvc",)):
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            continue
+        stack.create("mvc", path)
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            continue
+        stack.instance_at(path).propose(proposals[pid])
+    net.run()
+    return decisions_of(net, path)
+
+
+class TestAgreementValidity:
+    def test_unanimous_decides_that_value(self):
+        net = InstantNet(4)
+        assert run_mvc(net, [b"v"] * 4) == [b"v"] * 4
+
+    def test_unanimous_arbitrary_structures(self):
+        net = InstantNet(4)
+        value = [b"composite", 17, None, ["nested"]]
+        assert run_mvc(net, [value] * 4) == [value] * 4
+
+    def test_divergent_proposals_decide_default(self):
+        net = InstantNet(4)
+        decisions = run_mvc(net, [b"a", b"b", b"c", b"d"])
+        assert decisions == [None] * 4
+
+    def test_decision_is_proposed_value_or_default(self):
+        for seed in range(15):
+            net = ShuffleNet(4, seed=seed)
+            proposals = [b"x", b"x", b"y", b"y"]
+            decisions = run_mvc(net, proposals)
+            assert len(set(decisions)) == 1, f"seed {seed}"
+            assert decisions[0] in (None, b"x", b"y"), f"seed {seed}"
+
+    def test_agreement_on_shuffled_schedules(self):
+        for seed in range(15):
+            net = ShuffleNet(4, seed=seed)
+            decisions = run_mvc(net, [b"same"] * 4)
+            assert decisions == [b"same"] * 4, f"seed {seed}"
+
+    def test_three_against_one(self):
+        """n-2f = 2 identical values suffice to carry the majority value
+        when no conflicting justified value emerges."""
+        net = InstantNet(4)
+        decisions = run_mvc(net, [b"maj", b"maj", b"maj", b"odd"])
+        assert len(set(decisions)) == 1
+
+    def test_crashed_process_unanimous_rest(self):
+        net = InstantNet(4, crashed={2})
+        decisions = run_mvc(net, [b"v", b"v", b"v", b"v"])
+        assert decisions == [b"v"] * 3
+
+    def test_crashed_process_shuffled(self):
+        for seed in range(10):
+            net = ShuffleNet(4, seed=seed, crashed={1})
+            decisions = run_mvc(net, [b"w"] * 4)
+            assert decisions == [b"w"] * 3, f"seed {seed}"
+
+    def test_larger_group_n7(self):
+        net = InstantNet(7)
+        assert run_mvc(net, [b"seven"] * 7) == [b"seven"] * 7
+
+    def test_n7_crashed_two(self):
+        net = InstantNet(7, crashed={0, 6})
+        assert run_mvc(net, [b"v"] * 7) == [b"v"] * 5
+
+
+class TestApi:
+    def test_none_proposal_rejected(self):
+        net = InstantNet(4)
+        mvc = net.stacks[0].create("mvc", ("m",))
+        with pytest.raises(ValueError):
+            mvc.propose(None)
+
+    def test_double_proposal_rejected(self):
+        net = InstantNet(4)
+        mvc = net.stacks[0].create("mvc", ("m",))
+        mvc.propose(b"v")
+        with pytest.raises(ProtocolViolationError):
+            mvc.propose(b"w")
+
+    def test_direct_frames_rejected(self):
+        from repro.core.wire import encode_frame
+
+        net = InstantNet(4)
+        net.stacks[0].create("mvc", ("m",))
+        net.stacks[0].receive(1, encode_frame(("m",), 0, b"x"))
+        assert net.stacks[0].stats.dropped["protocol-violation"] == 1
+
+    def test_default_decision_counted(self):
+        net = InstantNet(4)
+        run_mvc(net, [b"a", b"b", b"c", b"d"])
+        assert net.stacks[0].stats.decisions["mvc-default"] == 1
+
+    def test_value_decision_not_counted_as_default(self):
+        net = InstantNet(4)
+        run_mvc(net, [b"v"] * 4)
+        assert net.stacks[0].stats.decisions["mvc-default"] == 0
+        assert net.stacks[0].stats.decisions["mvc"] == 1
+
+
+class TestByzantineAttack:
+    """Section 4.2: the corrupt process pushes ⊥ in INIT and VECT."""
+
+    def _net_with_attacker(self, seed, attacker=3):
+        factory = ProtocolFactory.default().override(
+            "mvc", DefaultValueMultiValuedConsensus
+        )
+        return ShuffleNet(4, seed=seed, factories={attacker: factory})
+
+    def test_attack_fails_against_unanimous_correct(self):
+        for seed in range(10):
+            net = self._net_with_attacker(seed)
+            decisions = run_mvc(net, [b"v", b"v", b"v", b"v"])
+            correct = decisions[:3]
+            assert correct == [b"v"] * 3, f"seed {seed}: {decisions}"
+
+    def test_attacker_never_forces_default(self):
+        for seed in range(10):
+            net = self._net_with_attacker(seed)
+            run_mvc(net, [b"v"] * 4)
+            for pid in range(3):
+                assert net.stacks[pid].stats.decisions["mvc-default"] == 0
+
+    def test_malformed_vect_ignored(self):
+        """A corrupt process's VECT with a junk justification is simply
+        never validated."""
+        from repro.core.echo_broadcast import MSG_INIT as EB_INIT
+
+        net = InstantNet(4)
+        for pid in range(3):
+            net.stacks[pid].create("mvc", ("m",))
+        for pid in range(3):
+            net.stacks[pid].instance_at(("m",)).propose(b"v")
+        # p3 echo-broadcasts a VECT claiming value b"evil" justified by a
+        # fabricated vector; correct INITs never match, so it stays pending.
+        for dest in range(3):
+            net.stacks[3].send_frame(
+                dest, ("m", "vect", 3), EB_INIT, [b"evil", [b"evil"] * 4]
+            )
+        net.run()
+        decisions = [net.stacks[pid].instance_at(("m",)).decision for pid in range(3)]
+        assert decisions == [b"v"] * 3
+
+    def test_justified_minority_value_cannot_win_against_quorum(self):
+        """Even a *justifiable* conflicting value from the attacker at most
+        forces ⊥, never a wrong decision."""
+        for seed in range(8):
+            net = self._net_with_attacker(seed)
+            decisions = run_mvc(net, [b"a", b"a", b"b", b"b"])
+            correct = decisions[:3]
+            assert len(set(correct)) == 1, f"seed {seed}"
+            assert correct[0] in (None, b"a", b"b")

@@ -1,0 +1,120 @@
+"""Unit tests for multi-valued consensus VECT validation and the
+proposal rule (docs/PROTOCOLS.md)."""
+
+from repro.core.config import GroupConfig
+from repro.core.multivalued_consensus import _key
+from repro.core.stack import Stack
+
+
+def make_mvc(n=4):
+    stack = Stack(GroupConfig(n), 0, outbox=lambda d, b: None)
+    return stack.create("mvc", ("m",))
+
+
+def feed_inits(mvc, values):
+    for sender, value in enumerate(values):
+        if value is not None:
+            mvc._on_init(sender, value)
+
+
+class TestVectValidity:
+    def test_needs_value_quorum_matches(self):
+        mvc = make_mvc()
+        feed_inits(mvc, [b"v", b"v", b"w", None])
+        keys = [_key(b"v")] * 2 + [_key(b"w"), None]
+        assert mvc._vect_is_valid(b"v", keys)  # indices 0,1 match: n-2f = 2
+        assert not mvc._vect_is_valid(b"w", keys)  # only index 2 matches
+
+    def test_claimed_must_match_local(self):
+        """The justification must agree with *our* INITs, index by index."""
+        mvc = make_mvc()
+        feed_inits(mvc, [b"v", b"v", None, None])
+        lying = [_key(b"v"), _key(b"v"), _key(b"v"), _key(b"v")]
+        # Claims v at indices 2 and 3, but we have no INIT there: only
+        # 0 and 1 count -- still enough.
+        assert mvc._vect_is_valid(b"v", lying)
+        mvc2 = make_mvc()
+        feed_inits(mvc2, [b"x", b"x", None, None])
+        assert not mvc2._vect_is_valid(b"v", lying)
+
+    def test_validity_grows_with_inits(self):
+        mvc = make_mvc()
+        keys = [_key(b"v")] * 4
+        assert not mvc._vect_is_valid(b"v", keys)
+        mvc._on_init(0, b"v")
+        assert not mvc._vect_is_valid(b"v", keys)
+        mvc._on_init(1, b"v")
+        assert mvc._vect_is_valid(b"v", keys)
+
+
+class TestVectPhase:
+    def test_vect_carries_supported_value(self):
+        captured = {}
+        mvc = make_mvc()
+        mvc._vect_payload = lambda value, just: captured.update(
+            value=value, just=just
+        ) or [value, just]
+        mvc.proposed = True
+        mvc.proposal = b"me"
+        feed_inits(mvc, [b"v", b"v", b"w", None])
+        assert captured["value"] == b"v"
+        assert captured["just"][:3] == [b"v", b"v", b"w"]
+
+    def test_vect_bottom_without_support(self):
+        captured = {}
+        mvc = make_mvc()
+        mvc._vect_payload = lambda value, just: captured.update(value=value) or [
+            value,
+            just,
+        ]
+        mvc.proposed = True
+        mvc.proposal = b"me"
+        feed_inits(mvc, [b"a", b"b", b"c", None])
+        assert captured["value"] is None
+
+    def test_none_inits_do_not_back_a_value(self):
+        """A Byzantine ⊥ INIT can never become the supported value."""
+        captured = {}
+        mvc = make_mvc()
+        mvc._vect_payload = lambda value, just: captured.update(value=value) or [
+            value,
+            just,
+        ]
+        mvc.proposed = True
+        mvc.proposal = b"me"
+        mvc._on_init(0, None)
+        mvc._on_init(1, None)
+        mvc._on_init(2, b"x")
+        assert captured["value"] is None
+
+
+class TestProposalRule:
+    def run_vects(self, vects):
+        """Build an MVC, feed ⊥-free valid VECTs directly, capture the bit."""
+        mvc = make_mvc()
+        proposed = {}
+        mvc._bc.propose = lambda bit: proposed.update(bit=bit)
+        mvc._vect_sent = True
+        for sender, value in enumerate(vects):
+            mvc._valid_vects[sender] = (
+                (value, _key(value)) if value is not None else (None, None)
+            )
+        mvc._maybe_propose_bit()
+        return proposed.get("bit")
+
+    def test_unanimous_supported_proposes_one(self):
+        assert self.run_vects([b"v", b"v", b"v"]) == 1
+
+    def test_conflicting_values_propose_zero(self):
+        assert self.run_vects([b"v", b"v", b"w"]) == 0
+
+    def test_bottoms_do_not_conflict(self):
+        """⊥ VECTs never count as 'a different value' -- otherwise the
+        paper's Section 4.2 attack would succeed."""
+        assert self.run_vects([b"v", b"v", None]) == 1
+
+    def test_insufficient_support_proposes_zero(self):
+        assert self.run_vects([b"v", None, None]) == 0
+
+    def test_below_quorum_waits(self):
+        assert self.run_vects([b"v", b"v"]) is None

@@ -1,0 +1,116 @@
+"""Unit tests of the timing-model arithmetic (docs/SIMULATOR.md)."""
+
+import pytest
+
+from repro.net.network import LAN_2006, LanSimulation, NetworkParameters, _Resource
+
+
+class TestResource:
+    def test_idle_resource_starts_at_earliest(self):
+        resource = _Resource()
+        assert resource.acquire(5.0, 1.0) == 6.0
+
+    def test_busy_resource_queues(self):
+        resource = _Resource()
+        resource.acquire(0.0, 2.0)
+        assert resource.acquire(1.0, 1.0) == 3.0
+
+    def test_gap_leaves_idle_time(self):
+        resource = _Resource()
+        resource.acquire(0.0, 1.0)
+        assert resource.acquire(10.0, 1.0) == 11.0
+
+
+class TestCpuCost:
+    def test_fixed_plus_per_byte(self):
+        sim = LanSimulation(n=4, seed=0, ipsec=False)
+        params = sim.params
+        cost = sim._cpu_cost(1000, params.cpu_send_s)
+        assert cost == pytest.approx(params.cpu_send_s + 1000 * params.cpu_per_byte_s)
+
+    def test_ipsec_adds_fixed_and_per_byte(self):
+        plain = LanSimulation(n=4, seed=0, ipsec=False)
+        secured = LanSimulation(n=4, seed=0, ipsec=True)
+        base = plain._cpu_cost(1000, LAN_2006.cpu_send_s)
+        with_ah = secured._cpu_cost(1000, LAN_2006.cpu_send_s)
+        expected_extra = (
+            LAN_2006.ipsec_cpu_fixed_s + 1000 * LAN_2006.ipsec_cpu_per_byte_s
+        )
+        assert with_ah - base == pytest.approx(expected_extra)
+
+    def test_bigger_frames_cost_more(self):
+        sim = LanSimulation(n=4, seed=0)
+        assert sim._cpu_cost(10_000, 0.0) > sim._cpu_cost(100, 0.0)
+
+
+class TestEndToEndTiming:
+    def one_hop_latency(self, payload_bytes, ipsec=True):
+        sim = LanSimulation(n=4, seed=0, ipsec=ipsec)
+        arrival = []
+        sim.stacks[1].receive = lambda src, data: arrival.append(sim.now)
+        sim.stacks[0].send_frame(1, ("t",), 0, bytes(payload_bytes))
+        sim.run()
+        return arrival[0]
+
+    def test_single_hop_decomposition(self):
+        """One small frame's latency equals the sum of the stage costs."""
+        latency = self.one_hop_latency(10, ipsec=False)
+        sim = LanSimulation(n=4, seed=0, ipsec=False)
+        frame_len = None
+        sim.stacks[0]._outbox = lambda dest, data: None
+        from repro.core.wire import encode_frame
+
+        frame_len = len(encode_frame(("t",), 0, bytes(10)))
+        wire = sim.frame_wire_bytes(frame_len)
+        params = sim.params
+        serialization = wire * 8.0 / params.bandwidth_bps
+        expected = (
+            params.cpu_send_s
+            + wire * params.cpu_per_byte_s
+            + serialization  # NIC out
+            + params.switch_latency_s
+            + serialization  # NIC in
+            + params.cpu_recv_s
+            + wire * params.cpu_per_byte_s
+        )
+        assert latency == pytest.approx(expected, rel=1e-9)
+
+    def test_large_frames_slower(self):
+        assert self.one_hop_latency(10_000) > self.one_hop_latency(10)
+
+    def test_ipsec_slower_than_plain(self):
+        assert self.one_hop_latency(10, ipsec=True) > self.one_hop_latency(
+            10, ipsec=False
+        )
+
+    def test_receiver_contention(self):
+        """Two senders flooding one receiver beat the NIC-in serializer:
+        the second frame arrives later than it would alone."""
+        big = 50_000
+        sim = LanSimulation(n=4, seed=0)
+        arrivals = []
+        sim.stacks[2].receive = lambda src, data: arrivals.append((src, sim.now))
+        sim.stacks[0].send_frame(2, ("t",), 0, bytes(big))
+        sim.stacks[1].send_frame(2, ("t",), 0, bytes(big))
+        sim.run()
+        assert len(arrivals) == 2
+        solo = LanSimulation(n=4, seed=0)
+        solo_arrival = []
+        solo.stacks[2].receive = lambda src, data: solo_arrival.append(sim.now)
+        solo.stacks[1].send_frame(2, ("t",), 0, bytes(big))
+        solo.run()
+        assert arrivals[1][1] > solo.now - 1e-12
+
+    def test_wan_preset_slower(self):
+        from repro.net.network import WAN_EMULATED
+
+        lan = LanSimulation(n=4, seed=0)
+        wan = LanSimulation(n=4, seed=0, params=WAN_EMULATED)
+        lan_arrival, wan_arrival = [], []
+        lan.stacks[1].receive = lambda src, data: lan_arrival.append(lan.now)
+        wan.stacks[1].receive = lambda src, data: wan_arrival.append(wan.now)
+        lan.stacks[0].send_frame(1, ("t",), 0, b"x")
+        wan.stacks[0].send_frame(1, ("t",), 0, b"x")
+        lan.run()
+        wan.run()
+        assert wan_arrival[0] > lan_arrival[0] * 10

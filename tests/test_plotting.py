@@ -1,0 +1,115 @@
+"""ASCII chart rendering for the benchmark figures."""
+
+import pytest
+
+from repro.eval.atomic_burst import BurstResult
+from repro.eval.plotting import (
+    Series,
+    agreement_cost_chart,
+    burst_latency_chart,
+    burst_throughput_chart,
+    render_chart,
+)
+
+
+def burst(k, m, latency, cost=0.1):
+    return BurstResult(
+        faultload="failure-free",
+        burst_size=k,
+        message_bytes=m,
+        latency_s=latency,
+        throughput_msgs_s=k / latency,
+        agreement_cost=cost,
+        total_broadcasts=100,
+        agreement_broadcasts=int(100 * cost),
+        agreements=2,
+        max_bc_rounds=1,
+        mvc_default_decisions=0,
+        delivered=k,
+    )
+
+
+class TestRenderChart:
+    def test_basic_render(self):
+        chart = render_chart(
+            [Series("a", [1, 2, 3], [1, 4, 9])],
+            title="squares",
+            x_label="x",
+            y_label="y",
+        )
+        assert "squares" in chart
+        assert "o a" in chart
+        assert chart.count("\n") > 10
+
+    def test_multiple_series_distinct_markers(self):
+        chart = render_chart(
+            [Series("one", [1, 2], [1, 2]), Series("two", [1, 2], [2, 1])],
+            title="t",
+            x_label="x",
+            y_label="y",
+        )
+        assert "o one" in chart
+        assert "x two" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            render_chart(
+                [Series("a", [0, 1], [1, 2])],
+                title="t",
+                x_label="x",
+                y_label="y",
+                log_x=True,
+            )
+
+    def test_empty_series_list_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([], title="t", x_label="x", y_label="y")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [1, 2], [1])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [], [])
+
+    def test_single_point(self):
+        chart = render_chart(
+            [Series("a", [5], [7])], title="t", x_label="x", y_label="y"
+        )
+        assert "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = render_chart(
+            [Series("a", [1, 10], [2, 20])],
+            title="t",
+            x_label="burst",
+            y_label="ms",
+        )
+        assert "burst" in chart
+        assert "ms" in chart
+        assert "20" in chart  # y max label
+
+
+class TestFigureCharts:
+    def results(self):
+        return [
+            burst(k, m, latency=0.001 * k * (1 + m / 1000))
+            for m in (10, 1000)
+            for k in (4, 64, 1000)
+        ]
+
+    def test_latency_chart(self):
+        chart = burst_latency_chart(self.results(), "figure")
+        assert "10 B" in chart
+        assert "1000 B" in chart
+        assert "ms" in chart
+
+    def test_throughput_chart(self):
+        chart = burst_throughput_chart(self.results(), "figure")
+        assert "msg/s" in chart
+
+    def test_agreement_cost_chart(self):
+        results = [burst(k, 10, 0.01 * k, cost=1.0 / k) for k in (4, 64, 1000)]
+        chart = agreement_cost_chart(results)
+        assert "Figure 7" in chart

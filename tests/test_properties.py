@@ -1,0 +1,184 @@
+"""Property-based tests: protocol invariants under arbitrary schedules,
+proposals and faults, driven by hypothesis."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GroupConfig
+
+from util import InstantNet, ShuffleNet, decisions_of
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    proposals=st.lists(st.integers(0, 1), min_size=4, max_size=4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=60, **COMMON)
+def test_binary_consensus_agreement_and_validity(proposals, seed):
+    """On any schedule: agreement always; validity when unanimous."""
+    net = ShuffleNet(4, seed=seed)
+    for stack in net.stacks:
+        stack.create("bc", ("bc",))
+    for pid, stack in enumerate(net.stacks):
+        stack.instance_at(("bc",)).propose(proposals[pid])
+    net.run()
+    decisions = decisions_of(net, ("bc",))
+    assert len(set(decisions)) == 1
+    if len(set(proposals)) == 1:
+        assert decisions[0] == proposals[0]
+    else:
+        assert decisions[0] in (0, 1)
+
+
+@given(
+    proposals=st.lists(st.integers(0, 1), min_size=4, max_size=4),
+    seed=st.integers(0, 10_000),
+    crashed=st.integers(0, 3),
+)
+@settings(max_examples=40, **COMMON)
+def test_binary_consensus_with_a_crash(proposals, seed, crashed):
+    net = ShuffleNet(4, seed=seed, crashed={crashed})
+    for pid, stack in enumerate(net.stacks):
+        if pid != crashed:
+            stack.create("bc", ("bc",))
+    for pid, stack in enumerate(net.stacks):
+        if pid != crashed:
+            stack.instance_at(("bc",)).propose(proposals[pid])
+    net.run()
+    decisions = decisions_of(net, ("bc",))
+    assert len(decisions) == 3
+    assert len(set(decisions)) == 1
+    live = [proposals[pid] for pid in range(4) if pid != crashed]
+    if len(set(live)) == 1:
+        assert decisions[0] == live[0]
+
+
+@given(
+    values=st.lists(st.binary(min_size=0, max_size=16), min_size=4, max_size=4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=50, **COMMON)
+def test_mvc_decision_is_proposal_or_default(values, seed):
+    net = ShuffleNet(4, seed=seed)
+    for stack in net.stacks:
+        stack.create("mvc", ("m",))
+    for pid, stack in enumerate(net.stacks):
+        stack.instance_at(("m",)).propose(values[pid])
+    net.run()
+    decisions = decisions_of(net, ("m",))
+    assert len(set(map(repr, decisions))) == 1  # agreement
+    assert decisions[0] is None or decisions[0] in values  # validity
+    if len({bytes(v) for v in values}) == 1:
+        assert decisions[0] == values[0]  # unanimity
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, **COMMON)
+def test_vector_consensus_slot_integrity(seed):
+    proposals = [b"p0", b"p1", b"p2", b"p3"]
+    net = ShuffleNet(4, seed=seed)
+    for stack in net.stacks:
+        stack.create("vc", ("v",))
+    for pid, stack in enumerate(net.stacks):
+        stack.instance_at(("v",)).propose(proposals[pid])
+    net.run()
+    decisions = decisions_of(net, ("v",))
+    vector = decisions[0]
+    assert all(d == vector for d in decisions)
+    assert len(vector) == 4
+    assert sum(1 for slot in vector if slot is not None) >= 2
+    for pid, slot in enumerate(vector):
+        assert slot in (None, proposals[pid])
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    message_counts=st.lists(st.integers(0, 4), min_size=4, max_size=4),
+)
+@settings(max_examples=40, **COMMON)
+def test_atomic_broadcast_total_order_property(seed, message_counts):
+    net = ShuffleNet(4, seed=seed)
+    orders = {}
+    for pid, stack in enumerate(net.stacks):
+        ab = stack.create("ab", ("a",))
+        orders[pid] = []
+        ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+    expected = set()
+    for pid, count in enumerate(message_counts):
+        for k in range(count):
+            net.stacks[pid].instance_at(("a",)).broadcast(b"m%d-%d" % (pid, k))
+            expected.add((pid, k))
+    net.run()
+    reference = orders[0]
+    # Agreement on order, no duplicates, no losses.
+    assert all(order == reference for order in orders.values())
+    assert len(reference) == len(set(reference)) == len(expected)
+    assert set(reference) == expected
+
+
+@given(seed=st.integers(0, 10_000), crashed=st.integers(0, 3))
+@settings(max_examples=25, **COMMON)
+def test_atomic_broadcast_with_crash_property(seed, crashed):
+    net = ShuffleNet(4, seed=seed, crashed={crashed})
+    orders = {}
+    for pid, stack in enumerate(net.stacks):
+        if pid == crashed:
+            continue
+        ab = stack.create("ab", ("a",))
+        orders[pid] = []
+        ab.on_deliver = lambda _i, d, pid=pid: orders[pid].append(d.msg_id)
+    for pid in range(4):
+        if pid != crashed:
+            net.stacks[pid].instance_at(("a",)).broadcast(b"m%d" % pid)
+    net.run()
+    reference = next(iter(orders.values()))
+    assert all(order == reference for order in orders.values())
+    assert len(reference) == 3
+
+
+@given(
+    n=st.sampled_from([4, 5, 6, 7]),
+    seed=st.integers(0, 3_000),
+)
+@settings(max_examples=25, **COMMON)
+def test_reliable_broadcast_totality_across_group_sizes(n, seed):
+    net = ShuffleNet(n, seed=seed)
+    got = {}
+    for pid, stack in enumerate(net.stacks):
+        rb = stack.create("rb", ("r",), sender=0)
+        rb.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+    net.stacks[0].instance_at(("r",)).broadcast(b"m")
+    net.run()
+    assert got == {pid: b"m" for pid in range(n)}
+
+
+@given(
+    payload=st.binary(min_size=0, max_size=512),
+    sender=st.integers(0, 3),
+    seed=st.integers(0, 3_000),
+)
+@settings(max_examples=40, **COMMON)
+def test_echo_broadcast_payload_fidelity(payload, sender, seed):
+    net = ShuffleNet(4, seed=seed)
+    got = {}
+    for pid, stack in enumerate(net.stacks):
+        eb = stack.create("eb", ("e",), sender=sender)
+        eb.on_deliver = lambda _i, v, pid=pid: got.setdefault(pid, v)
+    net.stacks[sender].instance_at(("e",)).broadcast(payload)
+    net.run()
+    assert got == {pid: payload for pid in range(4)}
+
+
+@given(n=st.integers(1, 40))
+@settings(max_examples=40, **COMMON)
+def test_quorum_sanity_for_any_group_size(n):
+    config = GroupConfig(n)
+    assert config.f == (n - 1) // 3
+    assert config.wait_quorum >= config.ready_quorum or config.f == 0
+    assert config.echo_quorum <= n
+    assert config.value_quorum >= config.f + 1 or config.f == 0

@@ -1,0 +1,99 @@
+"""Property-based tests for state machine replication and the KV store:
+any command mix, any schedule, any single fault -- identical state."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kv_store import ReplicatedKvStore
+from repro.apps.state_machine import Command, ReplicatedStateMachine
+
+from util import ShuffleNet
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+kv_ops = st.one_of(
+    st.tuples(st.just("put"), keys, st.binary(max_size=8)),
+    st.tuples(st.just("delete"), keys),
+    st.tuples(st.just("cas"), keys, st.binary(max_size=4), st.binary(max_size=4)),
+)
+
+
+@given(
+    ops=st.lists(st.tuples(st.integers(0, 3), kv_ops), max_size=16),
+    seed=st.integers(0, 5000),
+)
+@settings(max_examples=40, **COMMON)
+def test_kv_replicas_converge_on_any_history(ops, seed):
+    net = ShuffleNet(4, seed=seed)
+    stores = [
+        ReplicatedKvStore(stack.create("ab", ("kv",))) for stack in net.stacks
+    ]
+    for replica, op in ops:
+        if op[0] == "put":
+            stores[replica].put(op[1], op[2])
+        elif op[0] == "delete":
+            stores[replica].delete(op[1])
+        else:
+            stores[replica].cas(op[1], op[2], op[3])
+    net.run()
+    digests = {store.state_digest() for store in stores}
+    assert len(digests) == 1
+    logs = {
+        tuple(d.msg_id for d, _ in store.rsm.applied) for store in stores
+    }
+    assert len(logs) == 1
+
+
+@given(
+    ops=st.lists(st.tuples(st.integers(0, 3), kv_ops), min_size=1, max_size=10),
+    seed=st.integers(0, 5000),
+    crashed=st.integers(0, 3),
+)
+@settings(max_examples=25, **COMMON)
+def test_kv_converges_with_a_crash(ops, seed, crashed):
+    net = ShuffleNet(4, seed=seed, crashed={crashed})
+    stores = {}
+    for pid, stack in enumerate(net.stacks):
+        if pid != crashed:
+            stores[pid] = ReplicatedKvStore(stack.create("ab", ("kv",)))
+    for replica, op in ops:
+        if replica == crashed:
+            continue
+        store = stores[replica]
+        if op[0] == "put":
+            store.put(op[1], op[2])
+        elif op[0] == "delete":
+            store.delete(op[1])
+        else:
+            store.cas(op[1], op[2], op[3])
+    net.run()
+    digests = {store.state_digest() for store in stores.values()}
+    assert len(digests) == 1
+
+
+@given(
+    amounts=st.lists(st.tuples(st.integers(0, 3), st.integers(-50, 50)), max_size=12),
+    seed=st.integers(0, 5000),
+)
+@settings(max_examples=30, **COMMON)
+def test_counter_rsm_sums_identically(amounts, seed):
+    def apply_fn(state, command):
+        if command.op == "add" and len(command.args) == 1:
+            return state + command.args[0], None
+        return state, None
+
+    net = ShuffleNet(4, seed=seed)
+    rsms = [
+        ReplicatedStateMachine(stack.create("ab", ("c",)), apply_fn, 0)
+        for stack in net.stacks
+    ]
+    for replica, amount in amounts:
+        rsms[replica].submit(Command("add", [amount]))
+    net.run()
+    states = {rsm.state for rsm in rsms}
+    assert len(states) == 1
+    assert states.pop() == sum(amount for _, amount in amounts)

@@ -1,0 +1,95 @@
+"""The RitasSession facade: instance naming, caching, concurrency."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.crypto.keys import TrustedDealer
+from repro.transport.session import RitasSession
+from repro.transport.tcp import PeerAddress
+
+
+@pytest.fixture
+def group4():
+    return GroupConfig(4), TrustedDealer(4, seed=b"session-api")
+
+
+def with_sessions(group, base_port, body):
+    config, dealer = group
+
+    async def scenario():
+        addresses = [
+            PeerAddress("127.0.0.1", base_port + pid) for pid in range(4)
+        ]
+        sessions = [
+            RitasSession(config, pid, addresses, dealer.keystore_for(pid))
+            for pid in range(4)
+        ]
+        for session in sessions:
+            await session.start()
+        try:
+            return await asyncio.wait_for(body(sessions), timeout=30)
+        finally:
+            for session in sessions:
+                await session.close()
+
+    return asyncio.run(scenario())
+
+
+class TestConsensusApi:
+    def test_distinct_tags_are_distinct_instances(self, group4):
+        async def body(sessions):
+            first = asyncio.gather(
+                *[s.binary_consensus("one", 1) for s in sessions]
+            )
+            second = asyncio.gather(
+                *[s.binary_consensus("two", 0) for s in sessions]
+            )
+            return await first, await second
+
+        first, second = with_sessions(group4, 40910, body)
+        assert first == [1, 1, 1, 1]
+        assert second == [0, 0, 0, 0]
+
+    def test_decision_cached_for_repeat_calls(self, group4):
+        async def body(sessions):
+            decisions = await asyncio.gather(
+                *[s.multivalued_consensus("cfg", b"value") for s in sessions]
+            )
+            # A second call with the same tag returns the cached decision
+            # without re-proposing (the instance already decided).
+            again = await sessions[0].multivalued_consensus("cfg", b"other")
+            return decisions, again
+
+        decisions, again = with_sessions(group4, 40920, body)
+        assert decisions == [b"value"] * 4
+        assert again == b"value"
+
+    def test_concurrent_mixed_services(self, group4):
+        async def body(sessions):
+            bits = asyncio.gather(*[s.binary_consensus("b", 1) for s in sessions])
+            vectors = asyncio.gather(
+                *[s.vector_consensus("v", b"p%d" % s.process_id) for s in sessions]
+            )
+            await sessions[1].ab_broadcast(b"interleaved")
+            deliveries = asyncio.gather(*[s.ab_recv() for s in sessions])
+            return await bits, await vectors, await deliveries
+
+        bits, vectors, deliveries = with_sessions(group4, 40930, body)
+        assert bits == [1, 1, 1, 1]
+        assert all(v == vectors[0] for v in vectors)
+        assert all(d.payload == b"interleaved" for d in deliveries)
+
+    def test_ab_stream_ordering(self, group4):
+        async def body(sessions):
+            for k in range(3):
+                await sessions[k].ab_broadcast(b"msg-%d" % k)
+            orders = []
+            for session in sessions:
+                one = [await session.ab_recv() for _ in range(3)]
+                orders.append([(d.sender, d.rbid) for d in one])
+            return orders
+
+        orders = with_sessions(group4, 40940, body)
+        assert all(order == orders[0] for order in orders)

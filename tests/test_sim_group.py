@@ -1,0 +1,86 @@
+"""The SimGroup one-call facade."""
+
+import pytest
+
+from repro import FaultPlan, SimGroup
+from repro.adversary import byzantine_paper_faultload
+
+
+class TestConsensusCalls:
+    def test_binary_consensus(self):
+        group = SimGroup(n=4, seed=61)
+        assert group.binary_consensus([1, 1, 1, 1]) == [1, 1, 1, 1]
+
+    def test_multivalued_consensus(self):
+        group = SimGroup(n=4, seed=61)
+        assert group.multivalued_consensus([b"v"] * 4) == [b"v"] * 4
+
+    def test_vector_consensus(self):
+        group = SimGroup(n=4, seed=61)
+        vectors = group.vector_consensus([b"p%d" % pid for pid in range(4)])
+        assert all(v == vectors[0] for v in vectors)
+        assert len(vectors[0]) == 4
+
+    def test_sequential_calls_are_independent_instances(self):
+        group = SimGroup(n=4, seed=61)
+        assert group.binary_consensus([0, 0, 0, 0]) == [0] * 4
+        assert group.binary_consensus([1, 1, 1, 1]) == [1] * 4
+        assert group.multivalued_consensus([b"x"] * 4) == [b"x"] * 4
+
+    def test_elapsed_advances(self):
+        group = SimGroup(n=4, seed=61)
+        group.binary_consensus([1, 1, 1, 1])
+        first = group.elapsed
+        group.binary_consensus([0, 0, 0, 0])
+        assert group.elapsed > first > 0.0
+
+    def test_wrong_proposal_count_rejected(self):
+        group = SimGroup(n=4, seed=61)
+        with pytest.raises(ValueError, match="one proposal per process"):
+            group.binary_consensus([1, 1])
+
+
+class TestBroadcastCalls:
+    def test_reliable_broadcast(self):
+        group = SimGroup(n=4, seed=62)
+        assert group.reliable_broadcast(2, b"hello") == [b"hello"] * 4
+
+    def test_echo_broadcast(self):
+        group = SimGroup(n=4, seed=62)
+        assert group.echo_broadcast(0, b"echo") == [b"echo"] * 4
+
+    def test_atomic_broadcast_returns_per_process_orders(self):
+        group = SimGroup(n=4, seed=62)
+        orders = group.atomic_broadcast({0: [b"a", b"b"], 3: [b"c"]})
+        ids = [[d.msg_id for d in order] for order in orders]
+        assert all(o == ids[0] for o in ids)
+        assert len(ids[0]) == 3
+
+    def test_atomic_broadcast_order_persists_across_calls(self):
+        group = SimGroup(n=4, seed=62)
+        first = group.atomic_broadcast({0: [b"one"]})
+        second = group.atomic_broadcast({1: [b"two"]})
+        assert first[0][0].sequence == 0
+        assert second[0][0].sequence == 1
+
+    def test_invalid_sender_rejected(self):
+        group = SimGroup(n=4, seed=62)
+        with pytest.raises(ValueError, match="not a live process"):
+            group.reliable_broadcast(9, b"x")
+
+
+class TestWithFaults:
+    def test_fail_stop_group(self):
+        group = SimGroup(n=4, seed=63, fault_plan=FaultPlan.fail_stop(3))
+        assert group.binary_consensus([1, 1, 1, 1]) == [1, 1, 1]
+
+    def test_byzantine_group(self):
+        plan = FaultPlan.with_byzantine(3, byzantine_paper_faultload)
+        group = SimGroup(n=4, seed=63, fault_plan=plan)
+        decisions = group.multivalued_consensus([b"v"] * 4)
+        assert decisions[:3] == [b"v"] * 3
+
+    def test_crashed_sender_rejected(self):
+        group = SimGroup(n=4, seed=63, fault_plan=FaultPlan.fail_stop(0))
+        with pytest.raises(ValueError, match="not a live process"):
+            group.reliable_broadcast(0, b"x")

@@ -1,0 +1,87 @@
+"""Statistics accounting, including the Figure 7 derived quantities."""
+
+from repro.core.stats import (
+    PURPOSE_AGREEMENT,
+    PURPOSE_PAYLOAD,
+    StackStats,
+)
+
+
+class TestCounters:
+    def test_send_receive(self):
+        stats = StackStats()
+        stats.record_send(100)
+        stats.record_send(50)
+        stats.record_receive(30)
+        assert stats.frames_sent == 2
+        assert stats.bytes_sent == 150
+        assert stats.frames_received == 1
+        assert stats.bytes_received == 30
+
+    def test_drops_by_reason(self):
+        stats = StackStats()
+        stats.record_drop("malformed-frame")
+        stats.record_drop("malformed-frame")
+        stats.record_drop("protocol-violation")
+        assert stats.dropped["malformed-frame"] == 2
+        assert stats.dropped["protocol-violation"] == 1
+
+    def test_decisions_and_rounds(self):
+        stats = StackStats()
+        stats.record_decision("bc", 1)
+        stats.record_decision("bc", 1)
+        stats.record_decision("bc", 3)
+        assert stats.decisions["bc"] == 3
+        assert stats.consensus_rounds[("bc", 1)] == 2
+        assert stats.max_rounds("bc") == 3
+        assert stats.max_rounds("mvc") == 0
+
+
+class TestAgreementCost:
+    def test_zero_when_no_broadcasts(self):
+        assert StackStats().agreement_cost() == 0.0
+
+    def test_fraction(self):
+        stats = StackStats()
+        for _ in range(3):
+            stats.record_broadcast("rb", PURPOSE_PAYLOAD)
+        stats.record_broadcast("rb", PURPOSE_AGREEMENT)
+        stats.record_broadcast("eb", PURPOSE_AGREEMENT)
+        assert stats.total_broadcasts() == 5
+        assert stats.broadcasts_for(PURPOSE_AGREEMENT) == 2
+        assert stats.agreement_cost() == 0.4
+
+    def test_kind_and_purpose_are_independent_axes(self):
+        stats = StackStats()
+        stats.record_broadcast("rb", PURPOSE_PAYLOAD)
+        stats.record_broadcast("eb", PURPOSE_PAYLOAD)
+        assert stats.broadcasts_for(PURPOSE_PAYLOAD) == 2
+        assert stats.broadcasts[("rb", PURPOSE_PAYLOAD)] == 1
+
+
+class TestMerge:
+    def test_merge_accumulates_everything(self):
+        a = StackStats()
+        b = StackStats()
+        a.record_send(10)
+        b.record_send(20)
+        b.record_receive(5)
+        a.record_broadcast("rb", PURPOSE_PAYLOAD)
+        b.record_broadcast("rb", PURPOSE_AGREEMENT)
+        a.record_decision("bc", 1)
+        b.record_decision("bc", 2)
+        b.ooc_stored = 3
+        a.merge(b)
+        assert a.frames_sent == 2
+        assert a.bytes_sent == 30
+        assert a.frames_received == 1
+        assert a.total_broadcasts() == 2
+        assert a.decisions["bc"] == 2
+        assert a.max_rounds("bc") == 2
+        assert a.ooc_stored == 3
+
+    def test_merge_leaves_other_untouched(self):
+        a, b = StackStats(), StackStats()
+        b.record_send(10)
+        a.merge(b)
+        assert b.frames_sent == 1

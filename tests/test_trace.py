@@ -1,0 +1,136 @@
+"""Structured protocol tracing."""
+
+import pytest
+
+from repro.core.trace import (
+    KIND_BROADCAST,
+    KIND_CREATE,
+    KIND_DECIDE,
+    KIND_DELIVER,
+    KIND_DESTROY,
+    KIND_DROP,
+    KIND_OOC,
+    KIND_RECEIVE,
+    KIND_ROUND,
+    KIND_SEND,
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+)
+
+from util import InstantNet
+
+
+def traced_net(n=4, **tracer_kwargs):
+    net = InstantNet(n)
+    tracers = []
+    for stack in net.stacks:
+        tracer = Tracer(**tracer_kwargs)
+        stack.tracer = tracer
+        tracers.append(tracer)
+    return net, tracers
+
+
+class TestTracer:
+    def test_emit_and_select(self):
+        tracer = Tracer()
+        tracer.emit(0, KIND_SEND, ("a",), dest=1)
+        tracer.emit(1, KIND_RECEIVE, ("a",), src=0)
+        assert len(tracer) == 2
+        sends = list(tracer.select(kind=KIND_SEND))
+        assert len(sends) == 1
+        assert sends[0].detail["dest"] == 1
+
+    def test_select_by_process_and_prefix(self):
+        tracer = Tracer()
+        tracer.emit(0, KIND_SEND, ("a", 1))
+        tracer.emit(0, KIND_SEND, ("b", 1))
+        tracer.emit(2, KIND_SEND, ("a", 2))
+        assert len(list(tracer.select(process=0))) == 2
+        assert len(list(tracer.select(path_prefix=("a",)))) == 2
+        assert len(list(tracer.select(process=0, path_prefix=("a",)))) == 1
+
+    def test_capacity_ring(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit(0, KIND_SEND, (i,))
+        assert len(tracer) == 3
+        assert tracer.emitted == 10
+        assert [e.path for e in tracer.events()] == [(7,), (8,), (9,)]
+
+    def test_kind_filter_at_emit(self):
+        tracer = Tracer(kinds={KIND_DECIDE})
+        tracer.emit(0, KIND_SEND, ())
+        tracer.emit(0, KIND_DECIDE, (), value=1)
+        assert len(tracer) == 1
+
+    def test_render_line(self):
+        event = TraceEvent(time=0.001234, process=2, kind=KIND_DECIDE, path=("bc",),
+                           detail={"value": 1})
+        line = event.render()
+        assert "p2" in line
+        assert "decide" in line
+        assert "value=1" in line
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(0, KIND_SEND, ())
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.emit(0, KIND_SEND, ())
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.render() == ""
+        assert not NULL_TRACER.enabled
+
+
+class TestStackIntegration:
+    def test_consensus_emits_lifecycle_events(self):
+        net, tracers = traced_net()
+        for stack in net.stacks:
+            stack.create("bc", ("b",))
+        for stack in net.stacks:
+            stack.instance_at(("b",)).propose(1)
+        net.run()
+        tracer = tracers[0]
+        kinds = {event.kind for event in tracer.events()}
+        assert KIND_CREATE in kinds
+        assert KIND_SEND in kinds
+        assert KIND_RECEIVE in kinds
+        assert KIND_BROADCAST in kinds
+        assert KIND_DELIVER in kinds
+        assert KIND_ROUND in kinds
+        decides = list(tracer.select(kind=KIND_DECIDE))
+        assert len(decides) == 1
+        assert decides[0].detail == {"value": 1, "round": 1}
+
+    def test_destroy_emits(self):
+        net, tracers = traced_net()
+        instance = net.stacks[0].create("rb", ("x",), sender=0)
+        instance.destroy()
+        assert len(list(tracers[0].select(kind=KIND_DESTROY))) == 1
+
+    def test_ooc_and_drop_events(self):
+        from repro.core.wire import encode_frame
+
+        net, tracers = traced_net()
+        net.stacks[0].receive(1, b"garbage")
+        net.stacks[0].receive(1, encode_frame(("nowhere",), 0, None))
+        assert len(list(tracers[0].select(kind=KIND_DROP))) == 1
+        assert len(list(tracers[0].select(kind=KIND_OOC))) == 1
+
+    def test_tracing_off_by_default_and_free(self):
+        net = InstantNet(4)
+        assert net.stacks[0].tracer is NULL_TRACER
+        for stack in net.stacks:
+            stack.create("bc", ("b",))
+        for stack in net.stacks:
+            stack.instance_at(("b",)).propose(0)
+        net.run()  # must simply work with the inert tracer
+        assert net.stacks[0].instance_at(("b",)).decision == 0

@@ -1,0 +1,222 @@
+"""The TCP transport: framing security and live asyncio group runs."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.crypto.keys import TrustedDealer
+from repro.transport.framing import FrameCodec, FramingError, peek_src
+from repro.transport.tcp import PeerAddress, RitasNode
+from repro.transport.session import RitasSession
+
+
+class TestFraming:
+    def key(self):
+        return b"k" * 16
+
+    def test_roundtrip(self):
+        sender = FrameCodec(self.key(), src=2)
+        receiver = FrameCodec(self.key(), src=2)
+        frame = sender.encode(b"payload")
+        body = frame[4:]  # strip the length prefix
+        assert receiver.decode(body) == (2, b"payload")
+
+    def test_sequence_increments(self):
+        sender = FrameCodec(self.key(), src=0)
+        receiver = FrameCodec(self.key(), src=0)
+        for i in range(5):
+            src, payload = receiver.decode(sender.encode(b"%d" % i)[4:])
+            assert payload == b"%d" % i
+
+    def test_replay_rejected(self):
+        sender = FrameCodec(self.key(), src=0)
+        receiver = FrameCodec(self.key(), src=0)
+        body = sender.encode(b"x")[4:]
+        receiver.decode(body)
+        with pytest.raises(FramingError, match="replay"):
+            receiver.decode(body)
+
+    def test_reorder_rejected(self):
+        sender = FrameCodec(self.key(), src=0)
+        receiver = FrameCodec(self.key(), src=0)
+        first = sender.encode(b"1")[4:]
+        second = sender.encode(b"2")[4:]
+        receiver.decode(second)
+        with pytest.raises(FramingError):
+            receiver.decode(first)
+
+    def test_tampered_payload_rejected(self):
+        sender = FrameCodec(self.key(), src=0)
+        receiver = FrameCodec(self.key(), src=0)
+        body = bytearray(sender.encode(b"honest")[4:])
+        body[13] ^= 0xFF
+        with pytest.raises(FramingError, match="MAC"):
+            receiver.decode(bytes(body))
+
+    def test_wrong_key_rejected(self):
+        sender = FrameCodec(b"a" * 16, src=0)
+        receiver = FrameCodec(b"b" * 16, src=0)
+        with pytest.raises(FramingError, match="MAC"):
+            receiver.decode(sender.encode(b"x")[4:])
+
+    def test_spoofed_src_rejected(self):
+        """A frame authenticated under key(0) but claiming src 3."""
+        sender = FrameCodec(self.key(), src=3)
+        receiver = FrameCodec(self.key(), src=0)
+        with pytest.raises(FramingError):
+            receiver.decode(sender.encode(b"x")[4:])
+
+    def test_truncated_frame_rejected(self):
+        receiver = FrameCodec(self.key(), src=0)
+        with pytest.raises(FramingError, match="short"):
+            receiver.decode(b"tiny")
+
+    def test_peek_src(self):
+        sender = FrameCodec(self.key(), src=2)
+        assert peek_src(sender.encode(b"x")[4:]) == 2
+
+    def test_peek_src_truncated(self):
+        with pytest.raises(FramingError):
+            peek_src(b"")
+
+
+@pytest.fixture
+def group4():
+    config = GroupConfig(4)
+    dealer = TrustedDealer(4, seed=b"transport-tests")
+    return config, dealer
+
+
+def make_nodes(config, dealer, base_port, factory_for=None):
+    addresses = [PeerAddress("127.0.0.1", base_port + pid) for pid in range(config.n)]
+    nodes = []
+    for pid in range(config.n):
+        factory = factory_for(pid) if factory_for else None
+        nodes.append(
+            RitasNode(config, pid, addresses, dealer.keystore_for(pid), factory=factory)
+        )
+    return nodes
+
+
+class TestLiveGroup:
+    def test_atomic_broadcast_total_order(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            nodes = make_nodes(config, dealer, 40510)
+            for node in nodes:
+                await node.start()
+            try:
+                orders = {pid: [] for pid in range(4)}
+                for pid, node in enumerate(nodes):
+                    ab = node.stack.create("ab", ("t",))
+                    ab.on_deliver = (
+                        lambda _i, d, pid=pid: orders[pid].append((d.sender, d.rbid))
+                    )
+                for pid, node in enumerate(nodes):
+                    node.stack.instance_at(("t",)).broadcast(b"m%d" % pid)
+
+                async def done():
+                    return all(len(o) == 4 for o in orders.values())
+
+                for _ in range(400):
+                    if await done():
+                        break
+                    await asyncio.sleep(0.02)
+                assert await done(), orders
+                assert all(o == orders[0] for o in orders.values())
+            finally:
+                for node in nodes:
+                    await node.close()
+
+        asyncio.run(scenario())
+
+    def test_binary_consensus_over_sessions(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [
+                PeerAddress("127.0.0.1", 40520 + pid) for pid in range(4)
+            ]
+            sessions = [
+                RitasSession(config, pid, addresses, dealer.keystore_for(pid))
+                for pid in range(4)
+            ]
+            for session in sessions:
+                await session.start()
+            try:
+                decisions = await asyncio.wait_for(
+                    asyncio.gather(
+                        *[s.binary_consensus("vote", 1) for s in sessions]
+                    ),
+                    timeout=20,
+                )
+                assert decisions == [1, 1, 1, 1]
+            finally:
+                for session in sessions:
+                    await session.close()
+
+        asyncio.run(scenario())
+
+    def test_session_ab_stream(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [
+                PeerAddress("127.0.0.1", 40530 + pid) for pid in range(4)
+            ]
+            sessions = [
+                RitasSession(config, pid, addresses, dealer.keystore_for(pid))
+                for pid in range(4)
+            ]
+            for session in sessions:
+                await session.start()
+            try:
+                await sessions[1].ab_broadcast(b"hello")
+                deliveries = await asyncio.wait_for(
+                    asyncio.gather(*[s.ab_recv() for s in sessions]), timeout=20
+                )
+                assert all(d.payload == b"hello" for d in deliveries)
+                assert all(d.sender == 1 for d in deliveries)
+            finally:
+                for session in sessions:
+                    await session.close()
+
+        asyncio.run(scenario())
+
+    def test_rejects_unauthenticated_injection(self, group4):
+        """A raw TCP client with no keys cannot get frames accepted."""
+        config, dealer = group4
+
+        async def scenario():
+            nodes = make_nodes(config, dealer, 40540)
+            for node in nodes:
+                await node.start()
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", 40540)
+                # A plausible-looking but unauthenticated frame.
+                import struct
+
+                body = struct.pack(">QI", 0, 1) + b"attack payload" + b"\x00" * 32
+                writer.write(struct.pack(">I", len(body)) + body)
+                await writer.drain()
+                await asyncio.sleep(0.3)
+                assert nodes[0].frames_rejected == 1
+                assert nodes[0].stack.stats.frames_received == 0
+                writer.close()
+            finally:
+                for node in nodes:
+                    await node.close()
+
+        asyncio.run(scenario())
+
+    def test_addresses_length_checked(self, group4):
+        config, dealer = group4
+        with pytest.raises(ValueError):
+            RitasNode(
+                config,
+                0,
+                [PeerAddress("127.0.0.1", 1)],
+                dealer.keystore_for(0),
+            )

@@ -1,0 +1,114 @@
+"""Transport resilience: late starters, reconnection, slow peers."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.crypto.keys import TrustedDealer
+from repro.transport.tcp import PeerAddress, RitasNode
+
+
+@pytest.fixture
+def group4():
+    return GroupConfig(4), TrustedDealer(4, seed=b"resilience")
+
+
+def make_node(config, dealer, addresses, pid):
+    return RitasNode(
+        config,
+        pid,
+        addresses,
+        dealer.keystore_for(pid),
+        connect_retry_s=0.05,
+    )
+
+
+class TestResilience:
+    def test_late_starting_peer_joins(self, group4):
+        """Three nodes come up, start a broadcast, the fourth joins late:
+        connect retries + the OOC table let it catch up."""
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 40610 + pid) for pid in range(4)]
+            nodes = [make_node(config, dealer, addresses, pid) for pid in range(3)]
+            for node in nodes:
+                await node.start()
+            got = {pid: [] for pid in range(4)}
+            try:
+                for pid, node in enumerate(nodes):
+                    ab = node.stack.create("ab", ("t",))
+                    ab.on_deliver = lambda _i, d, pid=pid: got[pid].append(d.payload)
+                nodes[0].stack.instance_at(("t",)).broadcast(b"early")
+                await asyncio.sleep(0.3)
+                late = make_node(config, dealer, addresses, 3)
+                await late.start()
+                nodes.append(late)
+                ab = late.stack.create("ab", ("t",))
+                ab.on_deliver = lambda _i, d: got[3].append(d.payload)
+                nodes[1].stack.instance_at(("t",)).broadcast(b"late")
+                for _ in range(300):
+                    if all(len(msgs) == 2 for msgs in got.values()):
+                        break
+                    await asyncio.sleep(0.02)
+                assert all(msgs == got[0] for msgs in got.values()), got
+                assert set(got[0]) == {b"early", b"late"}
+            finally:
+                for node in nodes:
+                    await node.close()
+
+        asyncio.run(scenario())
+
+    def test_sender_queue_survives_peer_downtime(self, group4):
+        """Frames queued toward a dead peer do not block the others."""
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 40620 + pid) for pid in range(4)]
+            nodes = [make_node(config, dealer, addresses, pid) for pid in range(3)]
+            for node in nodes:
+                await node.start()
+            got = {pid: [] for pid in range(3)}
+            try:
+                # p3 never starts; the group is still live (f = 1).
+                for pid, node in enumerate(nodes):
+                    ab = node.stack.create("ab", ("t",))
+                    ab.on_deliver = lambda _i, d, pid=pid: got[pid].append(d.payload)
+                for pid, node in enumerate(nodes):
+                    node.stack.instance_at(("t",)).broadcast(b"m%d" % pid)
+                for _ in range(300):
+                    if all(len(msgs) == 3 for msgs in got.values()):
+                        break
+                    await asyncio.sleep(0.02)
+                assert all(msgs == got[0] for msgs in got.values())
+                assert len(got[0]) == 3
+            finally:
+                for node in nodes:
+                    await node.close()
+
+        asyncio.run(scenario())
+
+    def test_close_is_idempotent(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 40630 + pid) for pid in range(4)]
+            node = make_node(config, dealer, addresses, 0)
+            await node.start()
+            await node.close()
+            await node.close()
+
+        asyncio.run(scenario())
+
+    def test_outbox_after_close_is_noop(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 40640 + pid) for pid in range(4)]
+            node = make_node(config, dealer, addresses, 0)
+            await node.start()
+            await node.close()
+            node.stack.send_frame(1, ("t",), 0, b"x")  # silently dropped
+
+        asyncio.run(scenario())

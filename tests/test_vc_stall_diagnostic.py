@@ -1,0 +1,47 @@
+"""The vector consensus round-cap diagnostic (ProtocolStallError).
+
+Theory says vector consensus decides within f+1 rounds; if an
+environment ever breaks the assumption (see DESIGN.md's liveness
+caveats), the implementation must surface a diagnostic instead of
+hanging.  We force the condition with a test-only MVC that always
+decides ⊥.
+"""
+
+import pytest
+
+from repro.core.errors import ProtocolStallError
+from repro.core.multivalued_consensus import MultiValuedConsensus
+from repro.core.stack import ProtocolFactory
+
+from util import InstantNet
+
+
+class AlwaysBottomMvc(MultiValuedConsensus):
+    """Test double: decides ⊥ the moment it is asked to propose."""
+
+    def propose(self, value):
+        self._decide(None)
+
+
+def test_round_cap_raises_instead_of_hanging():
+    factory = ProtocolFactory.default().override("mvc", AlwaysBottomMvc)
+    net = InstantNet(4, factories={pid: factory for pid in range(4)})
+    for stack in net.stacks:
+        stack.create("vc", ("v",))
+    with pytest.raises(ProtocolStallError, match="round cap"):
+        for pid, stack in enumerate(net.stacks):
+            stack.instance_at(("v",)).propose(b"p%d" % pid)
+        net.run()
+
+
+def test_normal_runs_never_hit_the_cap():
+    net = InstantNet(4)
+    for stack in net.stacks:
+        stack.create("vc", ("v",))
+    for pid, stack in enumerate(net.stacks):
+        stack.instance_at(("v",)).propose(b"p%d" % pid)
+    net.run()
+    for stack in net.stacks:
+        vc = stack.instance_at(("v",))
+        assert vc.decided
+        assert vc.round_number <= stack.config.f

@@ -1,0 +1,111 @@
+"""Vector consensus: agreed vectors, per-slot integrity, round machinery."""
+
+import pytest
+
+from repro.core.errors import ProtocolViolationError
+
+from util import InstantNet, ShuffleNet, decisions_of
+
+
+def run_vc(net, proposals, path=("vc",)):
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            continue
+        stack.create("vc", path)
+    for pid, stack in enumerate(net.stacks):
+        if pid in net.crashed:
+            continue
+        stack.instance_at(path).propose(proposals[pid])
+    net.run()
+    return decisions_of(net, path)
+
+
+class TestProperties:
+    def test_all_decide_same_vector(self):
+        net = InstantNet(4)
+        proposals = [b"p0", b"p1", b"p2", b"p3"]
+        decisions = run_vc(net, proposals)
+        assert all(d == decisions[0] for d in decisions)
+        assert isinstance(decisions[0], list)
+        assert len(decisions[0]) == 4
+
+    def test_slots_hold_proposal_or_default(self):
+        """V[i] is p_i's proposal or ⊥ -- never a fabrication."""
+        for seed in range(15):
+            net = ShuffleNet(4, seed=seed)
+            proposals = [b"p0", b"p1", b"p2", b"p3"]
+            decisions = run_vc(net, proposals)
+            vector = decisions[0]
+            for pid, slot in enumerate(vector):
+                assert slot in (None, proposals[pid]), f"seed {seed}: {vector}"
+
+    def test_at_least_f_plus_one_filled(self):
+        for seed in range(15):
+            net = ShuffleNet(4, seed=seed)
+            decisions = run_vc(net, [b"a", b"b", b"c", b"d"])
+            vector = decisions[0]
+            filled = sum(1 for slot in vector if slot is not None)
+            assert filled >= 2, f"seed {seed}: {vector}"  # f+1 = 2
+
+    def test_identical_across_shuffles(self):
+        for seed in range(15):
+            net = ShuffleNet(4, seed=seed)
+            decisions = run_vc(net, [b"w", b"x", b"y", b"z"])
+            assert all(d == decisions[0] for d in decisions), f"seed {seed}"
+
+    def test_with_crashed_process(self):
+        net = InstantNet(4, crashed={2})
+        decisions = run_vc(net, [b"p0", b"p1", b"p2", b"p3"])
+        vector = decisions[0]
+        assert all(d == vector for d in decisions)
+        assert vector[2] is None  # the crashed slot can only be ⊥
+
+    def test_crashed_shuffled(self):
+        for seed in range(10):
+            net = ShuffleNet(4, seed=seed, crashed={3})
+            decisions = run_vc(net, [b"a", b"b", b"c", b"d"])
+            assert all(d == decisions[0] for d in decisions), f"seed {seed}"
+
+    def test_larger_group(self):
+        net = InstantNet(7)
+        decisions = run_vc(net, [b"p%d" % i for i in range(7)])
+        assert len(decisions[0]) == 7
+        assert all(d == decisions[0] for d in decisions)
+
+    def test_decision_round_recorded(self):
+        net = InstantNet(4)
+        run_vc(net, [b"p"] * 4)
+        assert net.stacks[0].stats.decisions["vc"] == 1
+        vc = net.stacks[0].instance_at(("vc",))
+        assert vc.round_number <= net.config.f
+
+
+class TestApi:
+    def test_none_proposal_rejected(self):
+        net = InstantNet(4)
+        vc = net.stacks[0].create("vc", ("v",))
+        with pytest.raises(ValueError):
+            vc.propose(None)
+
+    def test_double_proposal_rejected(self):
+        net = InstantNet(4)
+        vc = net.stacks[0].create("vc", ("v",))
+        vc.propose(b"p")
+        with pytest.raises(ProtocolViolationError):
+            vc.propose(b"q")
+
+    def test_direct_frames_rejected(self):
+        from repro.core.wire import encode_frame
+
+        net = InstantNet(4)
+        net.stacks[0].create("vc", ("v",))
+        net.stacks[0].receive(1, encode_frame(("v",), 0, b"x"))
+        assert net.stacks[0].stats.dropped["protocol-violation"] == 1
+
+    def test_vector_ok_rejects_short_vectors(self):
+        net = InstantNet(4)
+        vc = net.stacks[0].create("vc", ("v",))
+        assert not vc._vector_ok([b"a", b"b"])
+        assert not vc._vector_ok(None)
+        assert not vc._vector_ok([None, None, None, b"only-one"])
+        assert vc._vector_ok([b"a", b"b", None, None])

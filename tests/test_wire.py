@@ -1,0 +1,200 @@
+"""The wire codec: canonical values and defensive frame decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import WireFormatError
+from repro.core.wire import decode_frame, decode_value, encode_frame, encode_value
+
+
+class TestValueRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**64,
+            -(2**64),
+            b"",
+            b"payload",
+            "",
+            "héllo",
+            [],
+            [1, 2, 3],
+            [None, True, b"x", "y", [-5, []]],
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_bool_distinct_from_int(self):
+        assert encode_value(True) != encode_value(1)
+        assert encode_value(False) != encode_value(0)
+
+    def test_bytes_distinct_from_str(self):
+        assert encode_value(b"a") != encode_value("a")
+
+    def test_canonical_equal_values_equal_bytes(self):
+        a = encode_value([b"v", [1, 2, None]])
+        b = encode_value([b"v", [1, 2, None]])
+        assert a == b
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value({"not": "supported"})
+
+    def test_nesting_depth_capped(self):
+        value: list = []
+        for _ in range(40):
+            value = [value]
+        with pytest.raises(ValueError):
+            encode_value(value)
+
+
+class TestValueDecodeDefensive:
+    """A corrupt process controls these bytes: no decode may crash."""
+
+    def test_empty_input(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"\xff")
+
+    def test_truncated_length(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"\x04\x00\x00")
+
+    def test_truncated_body(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"\x04\x00\x00\x00\x05ab")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(WireFormatError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_empty_int_encoding(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"\x03\x00\x00\x00\x00")
+
+    def test_invalid_utf8(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"\x05\x00\x00\x00\x01\xff")
+
+    def test_huge_length_field_rejected_without_allocation(self):
+        with pytest.raises(WireFormatError):
+            decode_value(b"\x04\xff\xff\xff\xff")
+
+    def test_list_count_bomb_rejected(self):
+        # Claims 2^31 elements with no bodies.
+        with pytest.raises(WireFormatError):
+            decode_value(b"\x06\x80\x00\x00\x00")
+
+    def test_deep_nesting_rejected(self):
+        data = b"\x06\x00\x00\x00\x01" * 30 + b"\x00"
+        with pytest.raises(WireFormatError):
+            decode_value(data)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            decode_value(data)
+        except WireFormatError:
+            pass
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        path = ("ab", 0, "mvc", 3, "rb", 1, 2, 0)
+        encoded = encode_frame(path, 2, b"payload")
+        assert decode_frame(encoded) == (path, 2, b"payload")
+
+    def test_empty_path(self):
+        assert decode_frame(encode_frame((), 0, None)) == ((), 0, None)
+
+    def test_mtype_range_enforced_on_encode(self):
+        with pytest.raises(ValueError):
+            encode_frame(("x",), 256, None)
+        with pytest.raises(ValueError):
+            encode_frame(("x",), -1, None)
+
+    def test_unsupported_version(self):
+        frame = bytearray(encode_frame(("x",), 0, None))
+        frame[0] = 99
+        with pytest.raises(WireFormatError):
+            decode_frame(bytes(frame))
+
+    def test_empty_frame(self):
+        with pytest.raises(WireFormatError):
+            decode_frame(b"")
+
+    def test_body_not_a_list(self):
+        with pytest.raises(WireFormatError):
+            decode_frame(b"\x01" + encode_value(b"nope"))
+
+    def test_bool_path_component_rejected(self):
+        frame = b"\x01" + encode_value([[True], 0, None])
+        with pytest.raises(WireFormatError):
+            decode_frame(frame)
+
+    def test_nested_path_component_rejected(self):
+        frame = b"\x01" + encode_value([[[1]], 0, None])
+        with pytest.raises(WireFormatError):
+            decode_frame(frame)
+
+    def test_out_of_range_mtype_rejected_on_decode(self):
+        frame = b"\x01" + encode_value([["x"], 999, None])
+        with pytest.raises(WireFormatError):
+            decode_frame(frame)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            decode_frame(data)
+        except WireFormatError:
+            pass
+
+
+@given(
+    st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.binary(max_size=64)
+        | st.text(max_size=32),
+        lambda children: st.lists(children, max_size=6),
+        max_leaves=25,
+    )
+)
+@settings(max_examples=300)
+def test_property_value_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=2**31) | st.text(max_size=12),
+        max_size=8,
+    ),
+    st.integers(min_value=0, max_value=255),
+    st.binary(max_size=128),
+)
+@settings(max_examples=200)
+def test_property_frame_roundtrip(path, mtype, payload):
+    decoded_path, decoded_mtype, decoded_payload = decode_frame(
+        encode_frame(tuple(path), mtype, payload)
+    )
+    assert decoded_path == tuple(path)
+    assert decoded_mtype == mtype
+    assert decoded_payload == payload

@@ -1,0 +1,137 @@
+"""Test utilities: lightweight networks for exercising the sans-IO stack.
+
+Two runtimes besides the full LAN simulation:
+
+- :class:`InstantNet` -- synchronous, delivers every frame immediately
+  in send order.  Fast unit-level runs.
+- :class:`ShuffleNet` -- keeps all in-flight frames in a pool and lets a
+  seeded RNG pick which one to deliver next, preserving only per-pair
+  FIFO (the TCP guarantee).  This emulates an adversarial-ish scheduler
+  and is what the property-based consensus tests run on: agreement and
+  validity must hold on *every* schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.core.config import GroupConfig
+from repro.core.stack import ProtocolFactory, Stack
+from repro.crypto.keys import TrustedDealer
+
+
+class _BaseNet:
+    """Shared plumbing: builds one stack per process."""
+
+    def __init__(
+        self,
+        n: int = 4,
+        *,
+        seed: int = 0,
+        factories: dict[int, ProtocolFactory] | None = None,
+        crashed: set[int] | None = None,
+    ):
+        self.config = GroupConfig(n)
+        self.crashed = set(crashed or ())
+        dealer = TrustedDealer(n, seed=str(seed).encode())
+        self.stacks: list[Stack] = []
+        for pid in range(n):
+            factory = (factories or {}).get(pid)
+            stack = Stack(
+                self.config,
+                pid,
+                outbox=self._make_outbox(pid),
+                keystore=dealer.keystore_for(pid),
+                factory=factory,
+                rng=random.Random(f"{seed}/{pid}"),
+            )
+            self.stacks.append(stack)
+
+    def _make_outbox(self, src: int):
+        def outbox(dest: int, data: bytes) -> None:
+            self.enqueue(src, dest, data)
+
+        return outbox
+
+    def enqueue(self, src: int, dest: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def crash(self, pid: int) -> None:
+        self.crashed.add(pid)
+
+
+class InstantNet(_BaseNet):
+    """Delivers frames breadth-first in send order (deterministic)."""
+
+    def __init__(self, n: int = 4, **kwargs):
+        self.queue: deque[tuple[int, int, bytes]] = deque()
+        super().__init__(n, **kwargs)
+
+    def enqueue(self, src: int, dest: int, data: bytes) -> None:
+        if src in self.crashed:
+            return
+        self.queue.append((src, dest, data))
+
+    def run(self, max_frames: int = 2_000_000) -> int:
+        """Deliver until quiescent; returns frames delivered."""
+        delivered = 0
+        while self.queue and delivered < max_frames:
+            src, dest, data = self.queue.popleft()
+            delivered += 1
+            if dest in self.crashed:
+                continue
+            self.stacks[dest].receive(src, data)
+        if self.queue:
+            raise RuntimeError("frame budget exhausted; likely a protocol loop")
+        return delivered
+
+
+class ShuffleNet(_BaseNet):
+    """Delivers frames in a random order (per-pair FIFO preserved)."""
+
+    def __init__(self, n: int = 4, *, seed: int = 0, **kwargs):
+        self.pairs: dict[tuple[int, int], deque[bytes]] = {}
+        self.rng = random.Random(f"schedule/{seed}")
+        super().__init__(n, seed=seed, **kwargs)
+
+    def enqueue(self, src: int, dest: int, data: bytes) -> None:
+        if src in self.crashed:
+            return
+        self.pairs.setdefault((src, dest), deque()).append(data)
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self.pairs.values())
+
+    def step(self) -> bool:
+        """Deliver one frame from a randomly chosen nonempty pair."""
+        live = [pair for pair, q in self.pairs.items() if q and pair[1] not in self.crashed]
+        if not live:
+            # Drain frames addressed to crashed processes so quiescence
+            # is detectable.
+            for q in self.pairs.values():
+                q.clear()
+            return False
+        src, dest = self.rng.choice(live)
+        data = self.pairs[(src, dest)].popleft()
+        self.stacks[dest].receive(src, data)
+        return True
+
+    def run(self, max_frames: int = 2_000_000) -> int:
+        delivered = 0
+        while self.step():
+            delivered += 1
+            if delivered >= max_frames:
+                raise RuntimeError("frame budget exhausted; likely a protocol loop")
+        return delivered
+
+
+def decisions_of(net: _BaseNet, path: tuple, attr: str = "decision") -> list:
+    """Collect a per-process attribute of the instance at *path*."""
+    values = []
+    for pid in range(net.config.num_processes):
+        if pid in net.crashed:
+            continue
+        instance = net.stacks[pid].instance_at(path)
+        values.append(None if instance is None else getattr(instance, attr))
+    return values
