@@ -1,0 +1,124 @@
+"""Atomic broadcast throughput with and without frame coalescing.
+
+The batching fast path coalesces same-peer frames within a flush window
+into one batch channel unit, so the channel pays its fixed per-message
+costs (send CPU, per-frame headers, IPSec AH) once per batch.  This
+sweep measures the speedup on the calibrated LAN_2006 model.
+
+The gain grows with how much traffic is in flight at once: larger
+bursts and larger groups queue more same-peer frames while the sender
+CPU is busy, so more of them merge.  Small bursts on n=4 stay mostly
+latency-bound and the speedup is modest; those points are reported as
+``extra_info`` without a floor assertion.
+"""
+
+import pytest
+
+from repro.core.wire import encode_memo_clear
+from repro.eval.atomic_burst import run_burst
+
+#: Grid points asserted to clear the 1.5x bar: high-load settings where
+#: coalescing has material queue depth to work with (burst >= 16).
+ASSERTED_POINTS = (
+    # (n, burst, message_bytes, min_speedup)
+    (4, 64, 100, 1.5),
+    (7, 16, 100, 1.5),
+)
+
+#: Additional informational points (no floor; latency-bound regimes).
+INFO_POINTS = (
+    (4, 16, 100),
+    (4, 32, 100),
+)
+
+
+def measure(n: int, burst: int, message_bytes: int, *, batching: bool) -> float:
+    """Simulated atomic-broadcast throughput (msgs/s) for one setting."""
+    encode_memo_clear()  # identical cache state for both arms
+    result = run_burst(
+        burst, message_bytes, "failure-free", n=n, seed=7, batching=batching
+    )
+    assert result.delivered == burst
+    return result.throughput_msgs_s
+
+
+@pytest.mark.parametrize(
+    ("n", "burst", "message_bytes", "floor"),
+    ASSERTED_POINTS,
+    ids=[f"n{n}-k{k}-m{m}" for n, k, m, _ in ASSERTED_POINTS],
+)
+def test_batching_speedup_floor(benchmark, n, burst, message_bytes, floor):
+    def both():
+        off = measure(n, burst, message_bytes, batching=False)
+        on = measure(n, burst, message_bytes, batching=True)
+        return off, on
+
+    off, on = benchmark.pedantic(both, rounds=1, iterations=1)
+    speedup = on / off
+    benchmark.extra_info.update(
+        {
+            "throughput_off_msgs_s": round(off),
+            "throughput_on_msgs_s": round(on),
+            "speedup": round(speedup, 2),
+        }
+    )
+    assert speedup >= floor, (
+        f"batching speedup {speedup:.2f}x below {floor}x "
+        f"at n={n}, k={burst}, m={message_bytes}"
+    )
+
+
+@pytest.mark.parametrize(
+    ("n", "burst", "message_bytes"),
+    INFO_POINTS,
+    ids=[f"n{n}-k{k}-m{m}" for n, k, m in INFO_POINTS],
+)
+def test_batching_speedup_info(benchmark, n, burst, message_bytes):
+    """Latency-bound points: batching must not make things worse."""
+
+    def both():
+        off = measure(n, burst, message_bytes, batching=False)
+        on = measure(n, burst, message_bytes, batching=True)
+        return off, on
+
+    off, on = benchmark.pedantic(both, rounds=1, iterations=1)
+    speedup = on / off
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 0.95
+
+
+def test_encode_memo_hot_path(benchmark):
+    """The bounded structural memo on the INIT/ECHO/READY digest path:
+    repeated encodes of one payload must be much cheaper than cold
+    encodes of distinct payloads."""
+    import time
+
+    from repro.core.wire import encode_value, encode_value_cached
+
+    payload = [b"x" * 1000, 3, ["burst", 17]]
+
+    def hot(loops=20000):
+        encode_memo_clear()
+        start = time.perf_counter()
+        for _ in range(loops):
+            encode_value_cached(payload)
+        return time.perf_counter() - start
+
+    def cold(loops=20000):
+        start = time.perf_counter()
+        for _ in range(loops):
+            encode_value(payload)
+        return time.perf_counter() - start
+
+    def both():
+        return cold(), hot()
+
+    cold_s, hot_s = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "cold_us_per_encode": round(cold_s * 1e6 / 20000, 3),
+            "hot_us_per_encode": round(hot_s * 1e6 / 20000, 3),
+            "memo_speedup": round(cold_s / hot_s, 1),
+        }
+    )
+    assert hot_s < cold_s

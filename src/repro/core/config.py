@@ -27,10 +27,24 @@ class GroupConfig:
             to the optimal ``floor((n-1)/3)``; a smaller value may be
             configured (a *larger* one violates ``n >= 3f+1`` and is
             rejected).
+        batching: coalesce frames destined for the same peer within a
+            flush window into one batch channel unit, so the transport
+            pays its fixed per-message costs once per batch.  Off, the
+            stack's outbox traffic is byte-identical to the unbatched
+            (seed) behaviour.
+        batch_max_frames: most frames one batch container may carry;
+            longer windows are split into consecutive batches.
+        batch_window_s: extra time the real transport's sender may wait
+            for more same-peer frames before flushing a batch.  0 keeps
+            coalescing purely opportunistic (no added latency): only
+            frames already queued are merged.
     """
 
     num_processes: int
     num_faulty: int = field(default=-1)
+    batching: bool = True
+    batch_max_frames: int = 64
+    batch_window_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_processes < 1:
@@ -44,6 +58,10 @@ class GroupConfig:
                 f"n={self.num_processes} cannot tolerate f={self.num_faulty}: "
                 "Byzantine resilience requires n >= 3f + 1"
             )
+        if self.batch_max_frames < 1:
+            raise ConfigurationError("batch_max_frames must be >= 1")
+        if self.batch_window_s < 0.0:
+            raise ConfigurationError("batch_window_s must be >= 0")
 
     @property
     def n(self) -> int:

@@ -29,7 +29,7 @@ from repro.core.errors import ProtocolViolationError
 from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
 from repro.core.trace import KIND_BROADCAST
-from repro.core.wire import Path, encode_value
+from repro.core.wire import Path, encode_value_cached
 from repro.crypto.hashing import HASH_LEN
 from repro.crypto.mac import mac, mac_vector
 
@@ -109,7 +109,7 @@ class EchoBroadcast(ControlBlock):
         self._init_payload = mbuf.payload
         if not self._vect_sent:
             self._vect_sent = True
-            vector = mac_vector(encode_value(mbuf.payload), self.stack.keystore)
+            vector = mac_vector(encode_value_cached(mbuf.payload), self.stack.keystore)
             self.send(self.sender, MSG_VECT, vector)
         if self._pending_mat is not None:
             pending, self._pending_mat = self._pending_mat, None
@@ -173,7 +173,7 @@ class EchoBroadcast(ControlBlock):
     def _verify_column(self, column: list[list[Any]]) -> None:
         if self.delivered:
             return
-        encoded = encode_value(self._init_payload)
+        encoded = encode_value_cached(self._init_payload)
         valid = 0
         for row_index, tag in column:
             expected = mac(encoded, self.stack.keystore.key_for(row_index))

@@ -27,7 +27,7 @@ from repro.core.errors import ProtocolViolationError
 from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
 from repro.core.trace import KIND_BROADCAST
-from repro.core.wire import Path, encode_value
+from repro.core.wire import Path, encode_value_cached
 from repro.crypto.hashing import hash_bytes
 
 MSG_INIT = 0
@@ -125,7 +125,9 @@ class ReliableBroadcast(ControlBlock):
         self._check_progress(digest)
 
     def _digest_of(self, payload: Any) -> bytes:
-        digest = hash_bytes(encode_value(payload))
+        # Cached: the same payload is re-encoded once per arriving
+        # ECHO/READY vote, n-1 times per well-behaved broadcast.
+        digest = hash_bytes(encode_value_cached(payload))
         self._payloads.setdefault(digest, payload)
         return digest
 

@@ -37,6 +37,14 @@ class StackStats:
     frames_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    # Frame coalescing (batching fast path).  frames_sent/received keep
+    # counting *logical* protocol frames, so they stay symmetric across
+    # the group whether or not frames ride inside batch containers.
+    batches_sent: int = 0
+    frames_coalesced: int = 0
+    batches_received: int = 0
+    frames_decoalesced: int = 0
+    header_bytes_saved: int = 0
     dropped: Counter = field(default_factory=Counter)
     broadcasts: Counter = field(default_factory=Counter)
     consensus_rounds: Counter = field(default_factory=Counter)
@@ -58,6 +66,17 @@ class StackStats:
 
     def record_drop(self, reason: str) -> None:
         self.dropped[reason] += 1
+
+    def record_batch_sent(self, frames: int, header_bytes_saved: int) -> None:
+        """Count one outgoing batch coalescing *frames* frames."""
+        self.batches_sent += 1
+        self.frames_coalesced += frames
+        self.header_bytes_saved += header_bytes_saved
+
+    def record_batch_received(self, frames: int) -> None:
+        """Count one incoming batch carrying *frames* frames."""
+        self.batches_received += 1
+        self.frames_decoalesced += frames
 
     def record_broadcast(self, kind: str, purpose: str) -> None:
         """Count one locally initiated broadcast of *kind* ('rb' or 'eb')."""
@@ -94,6 +113,11 @@ class StackStats:
         self.frames_received += other.frames_received
         self.bytes_sent += other.bytes_sent
         self.bytes_received += other.bytes_received
+        self.batches_sent += other.batches_sent
+        self.frames_coalesced += other.frames_coalesced
+        self.batches_received += other.batches_received
+        self.frames_decoalesced += other.frames_decoalesced
+        self.header_bytes_saved += other.header_bytes_saved
         self.dropped.update(other.dropped)
         self.broadcasts.update(other.broadcasts)
         self.consensus_rounds.update(other.consensus_rounds)

@@ -14,6 +14,12 @@ bools, ints, bytes, strs, and lists thereof.  It is canonical --
 equal values encode to equal bytes -- which the consensus layers rely on
 to compare "the same value v" across processes.
 
+Besides single frames, the channel may carry *batch* containers
+(:func:`encode_batch`): several frames destined for the same peer,
+coalesced so the transport below pays its fixed per-message costs once
+per batch instead of once per frame (the dominant term in the paper's
+Table 1 cost decomposition).
+
 Decoding is defensive: any malformed input raises
 :class:`~repro.core.errors.WireFormatError`, never an arbitrary Python
 exception, so corrupt peers cannot crash the stack.
@@ -22,7 +28,8 @@ exception, so corrupt peers cannot crash the stack.
 from __future__ import annotations
 
 import struct
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Sequence
 
 from repro.core.errors import WireFormatError
 
@@ -35,9 +42,18 @@ _T_INT = 0x03
 _T_BYTES = 0x04
 _T_STR = 0x05
 _T_LIST = 0x06
+#: Leading byte of a batch container (distinct from FRAME_VERSION, so a
+#: receiver can tell batches from plain frames by the first byte).
+_T_BATCH = 0x42
 
 _MAX_DEPTH = 16
 _MAX_LEN = 64 * 1024 * 1024  # defensive cap on any single field
+
+#: Frames allowed in one batch container -- a corrupt peer must not be
+#: able to make a receiver allocate unbounded frame lists.
+MAX_BATCH_FRAMES = 4096
+#: Batches nested inside batches beyond this depth are rejected.
+MAX_BATCH_DEPTH = 4
 
 
 def encode_value(value: Any) -> bytes:
@@ -78,6 +94,54 @@ def _encode_into(out: bytearray, value: Any, depth: int) -> None:
             _encode_into(out, item, depth + 1)
     else:
         raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+# Bounded memo for canonical encodings.  The INIT/ECHO/READY hot path
+# re-encodes the same payload once per arriving vote (to digest it);
+# memoizing by *structure* (not identity) makes those lookups cheap and
+# stays correct even if the caller mutates its list afterwards.
+_ENCODE_MEMO_MAX = 256
+_encode_memo: "OrderedDict[Any, bytes]" = OrderedDict()
+
+
+def _memo_key(value: Any) -> Any:
+    """A hashable structural key that never conflates distinct encodings.
+
+    The class is part of the key because ``True == 1`` and
+    ``hash(True) == hash(1)`` while their encodings differ.
+    """
+    if isinstance(value, (list, tuple)):
+        return (tuple, tuple(_memo_key(item) for item in value))
+    if isinstance(value, (bytearray, memoryview)):
+        return (bytes, bytes(value))
+    return (value.__class__, value)
+
+
+def encode_value_cached(value: Any) -> bytes:
+    """:func:`encode_value` with a small bounded structural memo.
+
+    Use on hot paths that repeatedly encode the same payload (digesting
+    ECHO/READY votes, MAC verification).  Falls back to a plain encode
+    whenever the value cannot be keyed.
+    """
+    try:
+        key = _memo_key(value)
+        cached = _encode_memo.get(key)
+    except TypeError:
+        return encode_value(value)
+    if cached is not None:
+        _encode_memo.move_to_end(key)
+        return cached
+    encoded = encode_value(value)
+    _encode_memo[key] = encoded
+    if len(_encode_memo) > _ENCODE_MEMO_MAX:
+        _encode_memo.popitem(last=False)
+    return encoded
+
+
+def encode_memo_clear() -> None:
+    """Drop all memoized encodings (test isolation hook)."""
+    _encode_memo.clear()
 
 
 def decode_value(data: bytes) -> Any:
@@ -178,3 +242,74 @@ def decode_frame(data: bytes) -> tuple[Path, int, Any]:
             raise WireFormatError("path components must be ints or strings")
         path.append(component)
     return tuple(path), mtype, payload
+
+
+# -- batch containers ---------------------------------------------------------
+#
+# Layout (big-endian)::
+#
+#     u8   _T_BATCH
+#     u32  frame count
+#     (u32 frame length | frame bytes) * count
+#
+# A batch is itself a valid channel unit, so it may (rarely) appear
+# inside another batch -- e.g. the TCP sender merging queue entries that
+# the stack already coalesced.  Receivers bound that nesting with
+# MAX_BATCH_DEPTH.
+
+
+def is_batch(data: bytes) -> bool:
+    """True if *data* is a batch container rather than a plain frame."""
+    return bool(data) and data[0] == _T_BATCH
+
+
+def encode_batch(frames: Sequence[bytes]) -> bytes:
+    """Coalesce several channel units into one batch container."""
+    if not frames:
+        raise ValueError("cannot encode an empty batch")
+    if len(frames) > MAX_BATCH_FRAMES:
+        raise ValueError(f"batch of {len(frames)} exceeds cap {MAX_BATCH_FRAMES}")
+    out = bytearray([_T_BATCH])
+    out += struct.pack(">I", len(frames))
+    for frame in frames:
+        if not frame:
+            raise ValueError("cannot batch an empty frame")
+        if len(frame) > _MAX_LEN:
+            raise ValueError(f"frame of {len(frame)} bytes exceeds cap")
+        out += struct.pack(">I", len(frame))
+        out += frame
+    return bytes(out)
+
+
+def decode_batch(data: bytes) -> list[bytes]:
+    """Split a batch container back into its channel units.
+
+    Raises:
+        WireFormatError: not a batch, malformed lengths, an empty or
+            over-cap member, a count over :data:`MAX_BATCH_FRAMES`, or
+            trailing bytes.
+    """
+    if not is_batch(data):
+        raise WireFormatError("not a batch container")
+    offset = 1
+    if offset + 4 > len(data):
+        raise WireFormatError("truncated batch count")
+    (count,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    if count == 0:
+        raise WireFormatError("empty batch")
+    if count > MAX_BATCH_FRAMES:
+        raise WireFormatError(f"batch count {count} exceeds cap {MAX_BATCH_FRAMES}")
+    frames: list[bytes] = []
+    for _ in range(count):
+        length, offset = _read_length(data, offset)
+        if length == 0:
+            raise WireFormatError("empty frame in batch")
+        end = offset + length
+        if end > len(data):
+            raise WireFormatError("truncated frame in batch")
+        frames.append(data[offset:end])
+        offset = end
+    if offset != len(data):
+        raise WireFormatError("trailing bytes after batch")
+    return frames

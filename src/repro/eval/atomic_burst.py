@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.adversary import byzantine_paper_faultload
+from repro.core.config import GroupConfig
 from repro.core.stats import StackStats
 from repro.net.faults import FaultPlan
 from repro.net.network import LAN_2006, LanSimulation, NetworkParameters
@@ -65,12 +66,19 @@ def run_burst(
     params: NetworkParameters = LAN_2006,
     observer: int = 0,
     max_time: float = 900.0,
+    batching: bool = True,
 ) -> BurstResult:
     """Run one burst and return its measurements (observer is a correct
-    process; the burst is split evenly across the live senders)."""
+    process; the burst is split evenly across the live senders).
+
+    With *batching* on (the default) each sender hands its share of the
+    burst to the channel in one flush window, so frames coalesce into
+    batches all the way down the stack; off reproduces the unbatched
+    per-frame traffic."""
     plan = _fault_plan(faultload, n)
+    config = GroupConfig(n, batching=batching)
     sim = LanSimulation(
-        n=n, seed=seed, ipsec=ipsec, params=params, fault_plan=plan
+        config, seed=seed, ipsec=ipsec, params=params, fault_plan=plan
     )
     if observer in plan.faulty_ids():
         raise ValueError("the observer must be a correct process")
@@ -97,9 +105,13 @@ def run_burst(
     payload = bytes(message_bytes)
     for index, pid in enumerate(senders):
         count = per_sender + (1 if index < remainder else 0)
-        ab = sim.stacks[pid].instance_at(("burst",))
-        for _ in range(count):
-            ab.broadcast(payload)
+        stack = sim.stacks[pid]
+        ab = stack.instance_at(("burst",))
+        # One flush window per sender: the whole burst share leaves as
+        # coalesced batches (a no-op when batching is off).
+        with stack.coalesce():
+            for _ in range(count):
+                ab.broadcast(payload)
 
     reason = sim.run(
         until=lambda: len(delivered_at) >= burst_size, max_time=max_time

@@ -49,10 +49,28 @@ class RitasSession:
     def process_id(self) -> int:
         return self.node.process_id
 
+    async def listen(self) -> None:
+        """Bind the listener only (supports ephemeral ports: pass port 0,
+        read :attr:`bound_port`, then :meth:`set_peer_addresses` +
+        :meth:`connect` once every peer's port is known)."""
+        await self.node.listen()
+
+    @property
+    def bound_port(self) -> int:
+        return self.node.bound_port
+
+    def set_peer_addresses(self, addresses: list[PeerAddress]) -> None:
+        self.node.set_peer_addresses(addresses)
+
+    async def connect(self) -> None:
+        await self.node.connect()
+        if self._ab is None:
+            self._ab = self.node.stack.create("ab", ("ab",))
+            self._ab.on_deliver = lambda _inst, d: self._ab_queue.put_nowait(d)
+
     async def start(self) -> None:
-        await self.node.start()
-        self._ab = self.node.stack.create("ab", ("ab",))
-        self._ab.on_deliver = lambda _inst, d: self._ab_queue.put_nowait(d)
+        await self.listen()
+        await self.connect()
 
     async def close(self) -> None:
         await self.node.close()

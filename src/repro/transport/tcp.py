@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.config import GroupConfig
 from repro.core.stack import ProtocolFactory, Stack
+from repro.core.wire import encode_batch
 from repro.crypto.keys import KeyStore
 from repro.transport.framing import MAC_LEN, FrameCodec, FramingError, peek_src
 
@@ -82,15 +83,49 @@ class RitasNode:
         self._tasks: list[asyncio.Task] = []
         self._closed = False
         self.frames_rejected = 0
+        #: Outbound channel units merged into batch containers by the
+        #: sender tasks (on top of any coalescing the stack already did).
+        self.batches_sent = 0
+        self.frames_batched = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
-    async def start(self) -> None:
-        """Listen, then connect to every peer (retrying until they are up)."""
+    async def listen(self) -> None:
+        """Bind this node's listener.
+
+        Port 0 in this node's own address requests an ephemeral port;
+        the address map is updated with the port actually bound (see
+        :attr:`bound_port`), so peers can be told where to connect
+        before :meth:`connect` is called.
+        """
+        if self._server is not None:
+            return
         own = self.addresses[self.process_id]
         self._server = await asyncio.start_server(
             self._on_inbound, host=own.host, port=own.port
         )
+        bound = self._server.sockets[0].getsockname()[1]
+        self.addresses[self.process_id] = PeerAddress(own.host, bound)
+
+    @property
+    def bound_port(self) -> int:
+        """The port this node's listener is actually bound to."""
+        if self._server is None:
+            raise RuntimeError("node is not listening yet")
+        return self.addresses[self.process_id].port
+
+    def set_peer_addresses(self, addresses: list[PeerAddress]) -> None:
+        """Replace the address map (e.g. with ephemeral ports gathered
+        after every node's :meth:`listen`).  Call before :meth:`connect`."""
+        if len(addresses) != self.config.num_processes:
+            raise ValueError("need one address per process")
+        self.addresses = list(addresses)
+
+    async def connect(self) -> None:
+        """Start the outbound sender task for every peer (each retries
+        until its peer is up)."""
+        if self._tasks:
+            return
         for pid in self.config.process_ids:
             if pid == self.process_id:
                 continue
@@ -100,6 +135,11 @@ class RitasNode:
             queue: asyncio.Queue[bytes] = asyncio.Queue()
             self._send_queues[pid] = queue
             self._tasks.append(asyncio.create_task(self._sender(pid, queue)))
+
+    async def start(self) -> None:
+        """Listen, then connect to every peer (retrying until they are up)."""
+        await self.listen()
+        await self.connect()
 
     async def close(self) -> None:
         self._closed = True
@@ -136,14 +176,31 @@ class RitasNode:
             return
         self._send_queues[dest].put_nowait(data)
 
+    def _drain_batch(self, first: bytes, queue: asyncio.Queue[bytes]) -> bytes:
+        """Opportunistically merge queued same-peer frames into one batch
+        container, so the link pays one length header and one HMAC for
+        the lot.  Only what is already queued is taken -- no waiting."""
+        config = self.config
+        chunk = [first]
+        while len(chunk) < config.batch_max_frames:
+            try:
+                chunk.append(queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        if len(chunk) == 1:
+            return first
+        self.batches_sent += 1
+        self.frames_batched += len(chunk)
+        return encode_batch(chunk)
+
     async def _sender(self, pid: int, queue: asyncio.Queue[bytes]) -> None:
         """Own the outbound connection to *pid*: (re)connect and drain."""
-        address = self.addresses[pid]
         codec = self._send_codecs[pid]
         writer: asyncio.StreamWriter | None = None
         try:
             while not self._closed:
                 if writer is None:
+                    address = self.addresses[pid]
                     try:
                         _, writer = await asyncio.open_connection(
                             address.host, address.port
@@ -153,6 +210,12 @@ class RitasNode:
                         await asyncio.sleep(self.connect_retry_s)
                         continue
                 data = await queue.get()
+                if self.config.batching:
+                    if self.config.batch_window_s > 0 and queue.empty():
+                        # Flush window: linger briefly so a burst midway
+                        # through generation can still join this batch.
+                        await asyncio.sleep(self.config.batch_window_s)
+                    data = self._drain_batch(data, queue)
                 try:
                     writer.write(codec.encode(data))
                     await writer.drain()

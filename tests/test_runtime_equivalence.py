@@ -50,13 +50,18 @@ def run_tcp():
     async def scenario():
         config = GroupConfig(4)
         dealer = TrustedDealer(4, seed=b"equivalence")
-        addresses = [PeerAddress("127.0.0.1", 40710 + pid) for pid in range(4)]
+        addresses = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
         nodes = [
             RitasNode(config, pid, addresses, dealer.keystore_for(pid))
             for pid in range(4)
         ]
         for node in nodes:
-            await node.start()
+            await node.listen()
+        bound = [PeerAddress("127.0.0.1", node.bound_port) for node in nodes]
+        for node in nodes:
+            node.set_peer_addresses(bound)
+        for node in nodes:
+            await node.connect()
         try:
             stores = [
                 ReplicatedKvStore(node.stack.create("ab", ("kv",)))

@@ -15,19 +15,26 @@ def group4():
     return GroupConfig(4), TrustedDealer(4, seed=b"session-api")
 
 
-def with_sessions(group, base_port, body):
+def with_sessions(group, body):
     config, dealer = group
 
     async def scenario():
-        addresses = [
-            PeerAddress("127.0.0.1", base_port + pid) for pid in range(4)
-        ]
+        addresses = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
         sessions = [
             RitasSession(config, pid, addresses, dealer.keystore_for(pid))
             for pid in range(4)
         ]
+        # Staged startup with ephemeral ports: bind all listeners, share
+        # the bound ports, then connect.
         for session in sessions:
-            await session.start()
+            await session.listen()
+        bound = [
+            PeerAddress("127.0.0.1", session.bound_port) for session in sessions
+        ]
+        for session in sessions:
+            session.set_peer_addresses(bound)
+        for session in sessions:
+            await session.connect()
         try:
             return await asyncio.wait_for(body(sessions), timeout=30)
         finally:
@@ -48,7 +55,7 @@ class TestConsensusApi:
             )
             return await first, await second
 
-        first, second = with_sessions(group4, 40910, body)
+        first, second = with_sessions(group4, body)
         assert first == [1, 1, 1, 1]
         assert second == [0, 0, 0, 0]
 
@@ -62,7 +69,7 @@ class TestConsensusApi:
             again = await sessions[0].multivalued_consensus("cfg", b"other")
             return decisions, again
 
-        decisions, again = with_sessions(group4, 40920, body)
+        decisions, again = with_sessions(group4, body)
         assert decisions == [b"value"] * 4
         assert again == b"value"
 
@@ -76,7 +83,7 @@ class TestConsensusApi:
             deliveries = asyncio.gather(*[s.ab_recv() for s in sessions])
             return await bits, await vectors, await deliveries
 
-        bits, vectors, deliveries = with_sessions(group4, 40930, body)
+        bits, vectors, deliveries = with_sessions(group4, body)
         assert bits == [1, 1, 1, 1]
         assert all(v == vectors[0] for v in vectors)
         assert all(d.payload == b"interleaved" for d in deliveries)
@@ -91,5 +98,5 @@ class TestConsensusApi:
                 orders.append([(d.sender, d.rbid) for d in one])
             return orders
 
-        orders = with_sessions(group4, 40940, body)
+        orders = with_sessions(group4, body)
         assert all(order == orders[0] for order in orders)

@@ -157,19 +157,40 @@ class TestTimingModel:
         assert run_once() == run_once()
 
     def test_per_pair_fifo_order(self):
-        """Two frames on the same (src, dst) pair arrive in send order."""
+        """Frames on the same (src, dst) pair arrive in send order.
+
+        With batching on, back-to-back frames may share a batch
+        container; order must hold across and within batches."""
+        from repro.core.wire import decode_batch, is_batch
+
         sim = LanSimulation(n=4, seed=0)
         arrived = []
-        original = sim.stacks[1].receive
         sim.stacks[1].receive = lambda src, data: arrived.append(data)
         sim.stacks[0].send_frame(1, ("t",), 0, b"first")
         sim.stacks[0].send_frame(1, ("t",), 0, b"second" * 100)
         sim.stacks[0].send_frame(1, ("t",), 0, b"third")
         sim.run()
-        decoded = [d for d in arrived]
+        decoded = []
+        for unit in arrived:
+            decoded.extend(decode_batch(unit) if is_batch(unit) else [unit])
         assert len(decoded) == 3
         assert b"first" in decoded[0]
         assert b"third" in decoded[2]
+
+    def test_per_pair_fifo_order_unbatched(self):
+        """Batching off: every frame is its own channel unit, in order."""
+        from repro.core.config import GroupConfig
+
+        sim = LanSimulation(GroupConfig(4, batching=False), seed=0)
+        arrived = []
+        sim.stacks[1].receive = lambda src, data: arrived.append(data)
+        sim.stacks[0].send_frame(1, ("t",), 0, b"first")
+        sim.stacks[0].send_frame(1, ("t",), 0, b"second" * 100)
+        sim.stacks[0].send_frame(1, ("t",), 0, b"third")
+        sim.run()
+        assert len(arrived) == 3
+        assert b"first" in arrived[0]
+        assert b"third" in arrived[2]
 
     def test_with_overrides(self):
         params = NetworkParameters().with_overrides(cpu_send_s=1e-3)

@@ -88,8 +88,10 @@ def group4():
     return config, dealer
 
 
-def make_nodes(config, dealer, base_port, factory_for=None):
-    addresses = [PeerAddress("127.0.0.1", base_port + pid) for pid in range(config.n)]
+def make_nodes(config, dealer, factory_for=None):
+    # Port 0 everywhere: each node binds an ephemeral port in listen(),
+    # and start_group() exchanges the real ports before connecting.
+    addresses = [PeerAddress("127.0.0.1", 0) for _ in range(config.n)]
     nodes = []
     for pid in range(config.n):
         factory = factory_for(pid) if factory_for else None
@@ -99,14 +101,39 @@ def make_nodes(config, dealer, base_port, factory_for=None):
     return nodes
 
 
+async def start_group(nodes):
+    """Bind every node first, then share the bound ports and connect."""
+    for node in nodes:
+        await node.listen()
+    addresses = [PeerAddress("127.0.0.1", node.bound_port) for node in nodes]
+    for node in nodes:
+        node.set_peer_addresses(addresses)
+    for node in nodes:
+        await node.connect()
+    return addresses
+
+
+async def start_sessions(sessions):
+    """Same staged startup for the session facade."""
+    for session in sessions:
+        await session.listen()
+    addresses = [
+        PeerAddress("127.0.0.1", session.bound_port) for session in sessions
+    ]
+    for session in sessions:
+        session.set_peer_addresses(addresses)
+    for session in sessions:
+        await session.connect()
+    return addresses
+
+
 class TestLiveGroup:
     def test_atomic_broadcast_total_order(self, group4):
         config, dealer = group4
 
         async def scenario():
-            nodes = make_nodes(config, dealer, 40510)
-            for node in nodes:
-                await node.start()
+            nodes = make_nodes(config, dealer)
+            await start_group(nodes)
             try:
                 orders = {pid: [] for pid in range(4)}
                 for pid, node in enumerate(nodes):
@@ -136,15 +163,12 @@ class TestLiveGroup:
         config, dealer = group4
 
         async def scenario():
-            addresses = [
-                PeerAddress("127.0.0.1", 40520 + pid) for pid in range(4)
-            ]
+            addresses = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
             sessions = [
                 RitasSession(config, pid, addresses, dealer.keystore_for(pid))
                 for pid in range(4)
             ]
-            for session in sessions:
-                await session.start()
+            await start_sessions(sessions)
             try:
                 decisions = await asyncio.wait_for(
                     asyncio.gather(
@@ -163,15 +187,12 @@ class TestLiveGroup:
         config, dealer = group4
 
         async def scenario():
-            addresses = [
-                PeerAddress("127.0.0.1", 40530 + pid) for pid in range(4)
-            ]
+            addresses = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
             sessions = [
                 RitasSession(config, pid, addresses, dealer.keystore_for(pid))
                 for pid in range(4)
             ]
-            for session in sessions:
-                await session.start()
+            await start_sessions(sessions)
             try:
                 await sessions[1].ab_broadcast(b"hello")
                 deliveries = await asyncio.wait_for(
@@ -190,11 +211,12 @@ class TestLiveGroup:
         config, dealer = group4
 
         async def scenario():
-            nodes = make_nodes(config, dealer, 40540)
-            for node in nodes:
-                await node.start()
+            nodes = make_nodes(config, dealer)
+            await start_group(nodes)
             try:
-                reader, writer = await asyncio.open_connection("127.0.0.1", 40540)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", nodes[0].bound_port
+                )
                 # A plausible-looking but unauthenticated frame.
                 import struct
 

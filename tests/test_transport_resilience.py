@@ -1,6 +1,7 @@
 """Transport resilience: late starters, reconnection, slow peers."""
 
 import asyncio
+import socket
 
 import pytest
 
@@ -24,6 +25,31 @@ def make_node(config, dealer, addresses, pid):
     )
 
 
+def reserve_port() -> int:
+    """An ephemeral port for a process that must be addressable before
+    it binds (the kernel rarely reassigns it in the window)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+async def start_staged(nodes, extra_addresses=()):
+    """Bind every node on port 0, then share bound ports + connect.
+
+    *extra_addresses* extends the map for processes not yet started
+    (late starters, crashed peers)."""
+    for node in nodes:
+        await node.listen()
+    addresses = [
+        PeerAddress("127.0.0.1", node.bound_port) for node in nodes
+    ] + list(extra_addresses)
+    for node in nodes:
+        node.set_peer_addresses(addresses)
+    for node in nodes:
+        await node.connect()
+    return addresses
+
+
 class TestResilience:
     def test_late_starting_peer_joins(self, group4):
         """Three nodes come up, start a broadcast, the fourth joins late:
@@ -31,10 +57,12 @@ class TestResilience:
         config, dealer = group4
 
         async def scenario():
-            addresses = [PeerAddress("127.0.0.1", 40610 + pid) for pid in range(4)]
-            nodes = [make_node(config, dealer, addresses, pid) for pid in range(3)]
-            for node in nodes:
-                await node.start()
+            blank = [PeerAddress("127.0.0.1", 0)] * 4
+            nodes = [make_node(config, dealer, blank, pid) for pid in range(3)]
+            late_port = reserve_port()
+            addresses = await start_staged(
+                nodes, [PeerAddress("127.0.0.1", late_port)]
+            )
             got = {pid: [] for pid in range(4)}
             try:
                 for pid, node in enumerate(nodes):
@@ -65,10 +93,11 @@ class TestResilience:
         config, dealer = group4
 
         async def scenario():
-            addresses = [PeerAddress("127.0.0.1", 40620 + pid) for pid in range(4)]
-            nodes = [make_node(config, dealer, addresses, pid) for pid in range(3)]
-            for node in nodes:
-                await node.start()
+            blank = [PeerAddress("127.0.0.1", 0)] * 4
+            nodes = [make_node(config, dealer, blank, pid) for pid in range(3)]
+            await start_staged(
+                nodes, [PeerAddress("127.0.0.1", reserve_port())]
+            )
             got = {pid: [] for pid in range(3)}
             try:
                 # p3 never starts; the group is still live (f = 1).
@@ -93,7 +122,7 @@ class TestResilience:
         config, dealer = group4
 
         async def scenario():
-            addresses = [PeerAddress("127.0.0.1", 40630 + pid) for pid in range(4)]
+            addresses = [PeerAddress("127.0.0.1", 0)] * 4
             node = make_node(config, dealer, addresses, 0)
             await node.start()
             await node.close()
@@ -105,7 +134,7 @@ class TestResilience:
         config, dealer = group4
 
         async def scenario():
-            addresses = [PeerAddress("127.0.0.1", 40640 + pid) for pid in range(4)]
+            addresses = [PeerAddress("127.0.0.1", 0)] * 4
             node = make_node(config, dealer, addresses, 0)
             await node.start()
             await node.close()

@@ -5,7 +5,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import WireFormatError
-from repro.core.wire import decode_frame, decode_value, encode_frame, encode_value
+from repro.core.wire import (
+    MAX_BATCH_FRAMES,
+    decode_batch,
+    decode_frame,
+    decode_value,
+    encode_batch,
+    encode_frame,
+    encode_memo_clear,
+    encode_value,
+    encode_value_cached,
+    is_batch,
+)
 
 
 class TestValueRoundtrip:
@@ -164,6 +175,127 @@ class TestFrames:
             decode_frame(data)
         except WireFormatError:
             pass
+
+
+class TestBatchContainers:
+    def frames(self):
+        return [encode_frame(("t", i), 0, b"x" * i) for i in range(3)]
+
+    def test_roundtrip(self):
+        frames = self.frames()
+        assert decode_batch(encode_batch(frames)) == frames
+
+    def test_is_batch_discriminates(self):
+        frames = self.frames()
+        assert is_batch(encode_batch(frames))
+        assert not is_batch(frames[0])
+        assert not is_batch(b"")
+
+    def test_single_frame_batch_roundtrip(self):
+        frame = encode_frame(("t",), 1, b"solo")
+        assert decode_batch(encode_batch([frame])) == [frame]
+
+    def test_nested_batch_roundtrip(self):
+        """A batch is itself a channel unit, so it may ride in a batch."""
+        inner = encode_batch(self.frames())
+        outer = encode_batch([inner, self.frames()[0]])
+        members = decode_batch(outer)
+        assert members[0] == inner
+        assert decode_batch(members[0]) == self.frames()
+
+    def test_empty_batch_rejected_on_encode(self):
+        with pytest.raises(ValueError):
+            encode_batch([])
+
+    def test_over_cap_rejected_on_encode(self):
+        frame = encode_frame(("t",), 0, None)
+        with pytest.raises(ValueError):
+            encode_batch([frame] * (MAX_BATCH_FRAMES + 1))
+
+    def test_empty_member_rejected_on_encode(self):
+        with pytest.raises(ValueError):
+            encode_batch([b""])
+
+    def test_decode_plain_frame_rejected(self):
+        with pytest.raises(WireFormatError, match="not a batch"):
+            decode_batch(self.frames()[0])
+
+    def test_decode_truncated_count(self):
+        with pytest.raises(WireFormatError):
+            decode_batch(b"\x42\x00\x00")
+
+    def test_decode_zero_count(self):
+        with pytest.raises(WireFormatError, match="empty"):
+            decode_batch(b"\x42\x00\x00\x00\x00")
+
+    def test_decode_count_over_cap_without_allocation(self):
+        with pytest.raises(WireFormatError, match="cap"):
+            decode_batch(b"\x42\xff\xff\xff\xff")
+
+    def test_decode_truncated_member(self):
+        data = encode_batch(self.frames())
+        with pytest.raises(WireFormatError):
+            decode_batch(data[:-1])
+
+    def test_decode_trailing_garbage(self):
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_batch(encode_batch(self.frames()) + b"\x00")
+
+    def test_decode_empty_member(self):
+        # count=1, member length 0.
+        with pytest.raises(WireFormatError, match="empty frame"):
+            decode_batch(b"\x42\x00\x00\x00\x01\x00\x00\x00\x00")
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            decode_batch(data)
+        except WireFormatError:
+            pass
+
+
+class TestEncodeMemo:
+    def setup_method(self):
+        encode_memo_clear()
+
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -(2**64), b"", b"x", "x", [1, [b"y", None]]],
+    )
+    def test_cached_matches_plain(self, value):
+        assert encode_value_cached(value) == encode_value(value)
+        # Second call hits the memo; bytes must be identical.
+        assert encode_value_cached(value) == encode_value(value)
+
+    def test_bool_not_conflated_with_int(self):
+        """``True == 1`` and they hash alike, but encodings differ."""
+        assert encode_value_cached(1) == encode_value(1)
+        assert encode_value_cached(True) == encode_value(True)
+        assert encode_value_cached(True) != encode_value_cached(1)
+        assert encode_value_cached(0) != encode_value_cached(False)
+
+    def test_mutation_after_encode_does_not_poison(self):
+        value = [1, 2]
+        first = encode_value_cached(value)
+        value.append(3)
+        assert encode_value_cached(value) == encode_value([1, 2, 3])
+        assert encode_value_cached([1, 2]) == first
+
+    def test_bytearray_keys_like_bytes(self):
+        assert encode_value_cached(bytearray(b"ab")) == encode_value(b"ab")
+        assert encode_value_cached(b"ab") == encode_value(b"ab")
+
+    def test_unencodable_type_still_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value_cached({"not": "supported"})
+
+    def test_memo_is_bounded(self):
+        from repro.core.wire import _ENCODE_MEMO_MAX, _encode_memo
+
+        for i in range(_ENCODE_MEMO_MAX * 2):
+            encode_value_cached(i)
+        assert len(_encode_memo) <= _ENCODE_MEMO_MAX
 
 
 @given(
