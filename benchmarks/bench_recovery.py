@@ -1,0 +1,181 @@
+"""Extension -- recovery cost: time-to-rejoin and state-transfer bytes.
+
+The RITAS paper never restarts a process; this benchmark measures what
+the ``repro.recovery`` subsystem adds.  A replica is crashed, the group
+keeps ordering commands (a small keyspace overwritten many times, so
+the state stays bounded while the history grows), then the replica is
+restarted from nothing and rejoins via checkpoint + state transfer.
+
+Two numbers matter:
+
+- **time-to-rejoin** (virtual seconds from restart to live), and
+- **transfer bytes** versus the naive alternative of replaying the full
+  command history -- the checkpoint makes this proportional to state
+  size + checkpoint window, not history length, and the run *asserts*
+  the < 20% bound at n=4 and n=7.
+
+Run standalone (``python benchmarks/bench_recovery.py [--smoke]``) or
+through pytest (``pytest benchmarks/bench_recovery.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.kv_store import KvCommand, ReplicatedKvStore
+from repro.core.config import GroupConfig
+from repro.net.network import LanSimulation
+from repro.recovery import PHASE_LIVE, RecoveryManager
+
+#: Fraction of full-replay bytes a recovery is allowed to transfer.
+TRANSFER_BUDGET = 0.20
+
+
+def run_recovery_bench(
+    n: int = 4,
+    commands: int = 500,
+    checkpoint_interval: int = 25,
+    keyspace: int = 16,
+    value_bytes: int = 256,
+    seed: int = 2,
+) -> dict:
+    """Crash replica n-1, keep the group busy, restart it, measure."""
+    config = GroupConfig(n, checkpoint_interval=checkpoint_interval)
+    sim = LanSimulation(config=config, seed=seed)
+    stores, managers = [], []
+    for stack in sim.stacks:
+        store = ReplicatedKvStore(stack.create("ab", ("kv",)))
+        managers.append(RecoveryManager(stack, store.rsm))
+        stores.append(store)
+    victim = n - 1
+    live = list(range(n - 1))
+
+    replay_bytes = 0
+
+    def submit(pid: int, index: int) -> None:
+        nonlocal replay_bytes
+        command = KvCommand.put(
+            f"k{index % keyspace}", index.to_bytes(4, "big") * (value_bytes // 4)
+        )
+        replay_bytes += len(command.encode())
+        stores[pid]._rsm.submit(command)
+
+    def drive_until(predicate, budget_s=600.0):
+        outcome = sim.run(until=predicate, max_time=sim.now + budget_s)
+        if not predicate():
+            raise RuntimeError(f"simulation stalled ({outcome})")
+
+    # Warm-up with everyone present, then crash the victim and keep
+    # the group busy until *commands* total deliveries.
+    warmup = min(2 * checkpoint_interval, commands // 2)
+    for index in range(warmup):
+        submit(index % n, index)
+    drive_until(lambda: all(m.position >= warmup for m in managers))
+    sim.fault_plan.crashed[victim] = sim.now
+    for index in range(warmup, commands):
+        submit(live[index % len(live)], index)
+    drive_until(
+        lambda: all(managers[pid].position >= commands for pid in live)
+    )
+    # Let checkpoint attestations settle so the latest one is stable.
+    drive_until(
+        lambda: all(
+            managers[pid].stable_seq
+            >= commands - (commands % checkpoint_interval)
+            for pid in live
+        )
+    )
+
+    # Restart from nothing.
+    stack = sim.restart_process(victim)
+    store = ReplicatedKvStore(stack.create("ab", ("kv",)))
+    manager = RecoveryManager(stack, store.rsm, recovering=True)
+    ticker = sim.loop.schedule_every(0.01, manager.poke)
+    restarted_at = sim.now
+    drive_until(lambda: manager.phase == PHASE_LIVE)
+    stores[victim], managers[victim] = store, manager
+    drive_until(
+        lambda: len({s.state_digest() for s in stores}) == 1
+        and len({m.position for m in managers}) == 1
+    )
+    ticker.cancel()
+
+    transfer = manager.stats.state_bytes_received
+    return {
+        "n": n,
+        "commands": commands,
+        "checkpoint_interval": checkpoint_interval,
+        "rejoin_s": manager.stats.rejoin_time_s,
+        "converged_s": sim.now - restarted_at,
+        "transfer_bytes": transfer,
+        "replay_bytes": replay_bytes,
+        "transfer_fraction": transfer / replay_bytes,
+        "snapshots_installed": manager.stats.snapshots_installed,
+        "suffix_entries": manager.stats.suffix_entries_applied,
+        "stable_seq": manager.stable_seq,
+    }
+
+
+def check_budget(result: dict) -> None:
+    assert result["snapshots_installed"] >= 1, result
+    assert result["rejoin_s"] is not None and result["rejoin_s"] > 0, result
+    assert result["transfer_fraction"] < TRANSFER_BUDGET, (
+        f"state transfer moved {result['transfer_fraction']:.1%} of the "
+        f"full-replay bytes (budget {TRANSFER_BUDGET:.0%}): {result}"
+    )
+
+
+def test_recovery_transfer_n4():
+    check_budget(run_recovery_bench(n=4, commands=500, checkpoint_interval=25))
+
+
+def test_recovery_transfer_n7():
+    check_budget(run_recovery_bench(n=7, commands=500, checkpoint_interval=25))
+
+
+def test_recovery_transfer_smoke():
+    check_budget(run_recovery_bench(n=4, commands=240, checkpoint_interval=16))
+
+
+def _report(result: dict) -> None:
+    print(
+        f"n={result['n']}  commands={result['commands']}  "
+        f"interval={result['checkpoint_interval']}\n"
+        f"  time-to-rejoin     {result['rejoin_s'] * 1e3:8.1f} ms (virtual)\n"
+        f"  time-to-converge   {result['converged_s'] * 1e3:8.1f} ms (virtual)\n"
+        f"  transfer bytes     {result['transfer_bytes']:8d}\n"
+        f"  full-replay bytes  {result['replay_bytes']:8d}\n"
+        f"  transfer fraction  {result['transfer_fraction']:8.1%}  "
+        f"(budget {TRANSFER_BUDGET:.0%})\n"
+        f"  stable checkpoint  {result['stable_seq']:8d}  "
+        f"suffix entries {result['suffix_entries']}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single fast n=4 run (CI); default sweeps n=4 and n=7",
+    )
+    args = parser.parse_args(argv)
+    runs = (
+        [dict(n=4, commands=240, checkpoint_interval=16)]
+        if args.smoke
+        else [
+            dict(n=4, commands=500, checkpoint_interval=25),
+            dict(n=7, commands=500, checkpoint_interval=25),
+        ]
+    )
+    for params in runs:
+        result = run_recovery_bench(**params)
+        _report(result)
+        check_budget(result)
+    print("recovery bench: all transfer budgets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

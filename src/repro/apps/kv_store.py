@@ -60,11 +60,31 @@ def _apply_kv(state: dict[str, bytes], command: Command) -> tuple[dict, Any]:
     return state, None
 
 
+def _restore_kv(canonical: Any) -> dict[str, bytes]:
+    """Rebuild the store's dict from its canonical ``[[k, v], ...]``
+    rendering (see :func:`repro.apps.state_machine._canonical`)."""
+    if not isinstance(canonical, list):
+        raise ValueError("malformed kv snapshot")
+    state: dict[str, bytes] = {}
+    for entry in canonical:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not isinstance(entry[0], str)
+            or not isinstance(entry[1], bytes)
+        ):
+            raise ValueError("malformed kv snapshot entry")
+        state[entry[0]] = entry[1]
+    return state
+
+
 class ReplicatedKvStore:
     """One replica of the key-value store."""
 
     def __init__(self, ab: AtomicBroadcast):
-        self._rsm = ReplicatedStateMachine(ab, _apply_kv, initial_state={})
+        self._rsm = ReplicatedStateMachine(
+            ab, _apply_kv, initial_state={}, restore_fn=_restore_kv
+        )
 
     @property
     def rsm(self) -> ReplicatedStateMachine:

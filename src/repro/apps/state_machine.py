@@ -67,9 +67,12 @@ class ReplicatedStateMachine:
         ab: AtomicBroadcast,
         apply_fn: ApplyFn,
         initial_state: Any,
+        *,
+        restore_fn: Callable[[Any], Any] | None = None,
     ):
         self._ab = ab
         self._apply = apply_fn
+        self._restore = restore_fn
         self.state = initial_state
         self.applied: list[tuple[AbDelivery, Command]] = []
         self.on_result: Callable[[Command, Any], None] | None = None
@@ -78,7 +81,14 @@ class ReplicatedStateMachine:
         #: react to state transitions they did not initiate.
         self.on_applied: Callable[[AbDelivery, Command, Any], None] | None = None
         self._malformed = 0
+        self._snapshot_cache: bytes | None = None
+        self._digest_cache: bytes | None = None
         ab.on_deliver = self._on_delivery
+
+    @property
+    def ab(self) -> AtomicBroadcast:
+        """The atomic broadcast instance this replica's log rides on."""
+        return self._ab
 
     @property
     def replica_id(self) -> int:
@@ -108,18 +118,85 @@ class ReplicatedStateMachine:
             return
         self._step(delivery, command)
 
-    def _step(self, delivery: AbDelivery, command: Command) -> None:
+    def _step(
+        self, delivery: AbDelivery, command: Command, *, notify_result: bool = True
+    ) -> None:
         self.state, result = self._apply(self.state, command)
         self.applied.append((delivery, command))
-        if self.on_result is not None and delivery.sender == self.replica_id:
+        self._snapshot_cache = None
+        self._digest_cache = None
+        if (
+            notify_result
+            and self.on_result is not None
+            and delivery.sender == self.replica_id
+        ):
             self.on_result(command, result)
         if self.on_applied is not None:
             self.on_applied(delivery, command, result)
 
     def state_digest(self) -> bytes:
         """Digest of the current state; equal across correct replicas at
-        equal log positions."""
-        return hash_bytes(encode_value(_canonical(self.state)))
+        equal log positions.
+
+        Cached between state transitions: recovery checkpoints and
+        cross-replica audits may ask for the digest far more often than
+        the state changes.
+        """
+        if self._digest_cache is None:
+            self._digest_cache = hash_bytes(self.snapshot_bytes())
+        return self._digest_cache
+
+    # -- snapshots (checkpoint / state-transfer support) ---------------------
+
+    def snapshot_bytes(self) -> bytes:
+        """Canonical encoding of the current state -- the exact bytes
+        :meth:`state_digest` hashes, so ``hash_bytes(snapshot_bytes())``
+        always equals the digest."""
+        if self._snapshot_cache is None:
+            self._snapshot_cache = encode_value(_canonical(self.state))
+        return self._snapshot_cache
+
+    def install_snapshot(self, data: bytes) -> None:
+        """Replace the state with a decoded snapshot (state transfer).
+
+        Requires a ``restore_fn`` that rebuilds the application state
+        from its canonical rendering.  The applied log restarts empty:
+        entries before the snapshot position were truncated group-wide.
+        """
+        if self._restore is None:
+            raise ValueError("state machine has no restore_fn; cannot install")
+        self.state = self._restore(decode_value(data))
+        self.applied.clear()
+        self._snapshot_cache = None
+        self._digest_cache = None
+
+    def ingest_recovered(self, delivery: AbDelivery) -> bool:
+        """Apply one delivery obtained from a peer's log (state transfer).
+
+        Identical to the live delivery path except that
+        :attr:`on_result` is suppressed -- the original submitter
+        already saw the result.  Returns ``False`` when the payload is
+        junk every correct replica skipped at this position.
+        """
+        if not isinstance(delivery.payload, bytes):
+            self._malformed += 1
+            return False
+        try:
+            command = Command.decode(delivery.payload)
+        except (ValueError, WireFormatError):
+            self._malformed += 1
+            return False
+        self._step(delivery, command, notify_result=False)
+        return True
+
+    def trim_applied(self, max_entries: int) -> int:
+        """Drop all but the newest *max_entries* applied-log entries
+        (checkpoint-driven truncation); returns how many were dropped."""
+        excess = len(self.applied) - max(0, max_entries)
+        if excess > 0:
+            del self.applied[:excess]
+            return excess
+        return 0
 
 
 def _canonical(state: Any) -> Any:

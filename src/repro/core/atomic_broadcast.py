@@ -87,10 +87,21 @@ class AtomicBroadcast(ControlBlock):
         self._next_rbid = 0
         self._msg_window = msg_window
         self._gc_rounds = gc_rounds
+        #: Set by an external collector (the checkpoint manager in
+        #: :mod:`repro.recovery`) before any delivery: payload bookkeeping
+        #: then behaves as under ``gc_rounds``, but instances are only
+        #: destroyed when :meth:`collect_through` is called.
+        self.external_gc = False
         self._open_msg_instances: dict[int, int] = {}
         self._received: dict[MsgId, Any] = {}
         self._scheduled: set[MsgId] = set()
-        self._delivered_ids: set[MsgId] = set()
+        # Delivered identifiers, kept compact: per-sender contiguous
+        # watermark (every rbid <= it is delivered) plus a sparse set of
+        # delivered ids above their sender's watermark.  Bounded by the
+        # number of in-flight messages, not by history length -- and
+        # directly transferable to a recovering replica.
+        self._frontier: dict[int, int] = {}
+        self._frontier_sparse: set[MsgId] = set()
         self._delivered_count = 0
         self._delivery_queue: deque[MsgId] = deque()
         self._round = 0
@@ -99,8 +110,21 @@ class AtomicBroadcast(ControlBlock):
         self._mvc_proposed: set[int] = set()
         self._collectable: deque[tuple[int, MsgId]] = deque()
         self._gc_floor = 0  # lowest round whose instances still exist
+        # Cumulative count of identifiers scheduled through the end of
+        # each decided round.  Identical at every correct process (it is
+        # derived from the agreed decisions), so "the group's delivery
+        # position at the end of round r" is well-defined; the recovery
+        # layer uses it to splice a transferred log prefix onto a
+        # fast-forwarded instance.  _position_base anchors the count to
+        # absolute positions (None until a recovering replica learns its
+        # anchor from peers).
+        self._sched_cum: dict[int, int] = {}
+        self._sched_total = 0
+        self._position_base: int | None = 0
         self.agreements_started = 0
         self.agreements_empty = 0
+        self.fast_forwards = 0
+        self.payloads_injected = 0
         self._ensure_vect_instances(0)
 
     # -- public API -----------------------------------------------------------------
@@ -126,6 +150,230 @@ class AtomicBroadcast(ControlBlock):
     @property
     def round(self) -> int:
         return self._round
+
+    @property
+    def gc_floor(self) -> int:
+        """Lowest agreement round whose protocol instances still exist."""
+        return self._gc_floor
+
+    # -- delivered-id frontier ------------------------------------------------------
+
+    @property
+    def _gc_enabled(self) -> bool:
+        return self._gc_rounds is not None or self.external_gc
+
+    def _is_delivered(self, msg_id: MsgId) -> bool:
+        sender, rbid = msg_id
+        return rbid <= self._frontier.get(sender, -1) or msg_id in self._frontier_sparse
+
+    def _mark_delivered(self, msg_id: MsgId) -> None:
+        sender, rbid = msg_id
+        watermark = self._frontier.get(sender, -1)
+        if rbid <= watermark:
+            return
+        if rbid != watermark + 1:
+            self._frontier_sparse.add(msg_id)
+            return
+        watermark = rbid
+        while (sender, watermark + 1) in self._frontier_sparse:
+            watermark += 1
+            self._frontier_sparse.discard((sender, watermark))
+        self._frontier[sender] = watermark
+
+    def delivered_frontier(self) -> list[list[Any]]:
+        """Wire-encodable summary of every delivered identifier:
+        ``[[sender, watermark, [sparse rbids...]], ...]``."""
+        senders = set(self._frontier)
+        senders.update(sender for sender, _ in self._frontier_sparse)
+        return [
+            [
+                sender,
+                self._frontier.get(sender, -1),
+                sorted(r for s, r in self._frontier_sparse if s == sender),
+            ]
+            for sender in sorted(senders)
+        ]
+
+    def _install_frontier(self, frontier: list) -> None:
+        for sender, watermark, sparse in frontier:
+            if watermark >= 0:
+                self._frontier[sender] = watermark
+            for rbid in sparse:
+                self._frontier_sparse.add((sender, rbid))
+
+    @staticmethod
+    def parse_frontier(payload: Any) -> list[list[Any]] | None:
+        """Validate an untrusted wire frontier; ``None`` if malformed."""
+        if not isinstance(payload, list) or len(payload) > 4096:
+            return None
+        out: list[list[Any]] = []
+        for entry in payload:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 3
+                or not isinstance(entry[0], int)
+                or not isinstance(entry[1], int)
+                or not isinstance(entry[2], list)
+                or len(entry[2]) > MAX_VECT_IDS
+                or not all(isinstance(r, int) and r >= 0 for r in entry[2])
+            ):
+                return None
+            out.append(entry)
+        return out
+
+    # -- positions ------------------------------------------------------------------
+
+    def positions_by_round(self) -> dict[int, int]:
+        """Absolute delivery position of the group at the end of each
+        (still-tracked) decided round.  Empty while a fast-forwarded
+        instance has not yet learned its anchor (:meth:`set_position_base`)."""
+        if self._position_base is None:
+            return {}
+        return {r: self._position_base + c for r, c in self._sched_cum.items()}
+
+    def set_position_base(self, base: int) -> None:
+        """Anchor the per-round scheduled counts at absolute position
+        *base* (the group position at the end of the round before this
+        instance's first round)."""
+        self._position_base = base
+
+    # -- recovery hooks -------------------------------------------------------------
+
+    def fast_forward(self, round_number: int, frontier: list | None = None) -> None:
+        """Join the agreement at *round_number* instead of round 0.
+
+        Only an instance that has not yet scheduled or delivered
+        anything may be fast-forwarded (a restarted replica joins before
+        processing history, never mid-stream).  *frontier* -- as produced
+        by :meth:`delivered_frontier` on a peer -- marks identifiers the
+        group already delivered, so stale frames can never re-deliver
+        them here.  Frames for rounds at or above the join round that
+        arrived early are re-played from the out-of-context table the
+        moment the round's instances exist.
+        """
+        if self._scheduled or self._delivery_queue or self._delivered_count:
+            raise ProtocolViolationError(
+                "fast_forward requires an instance with no scheduled deliveries"
+            )
+        if round_number <= self._round:
+            raise ValueError(f"cannot fast-forward backwards to round {round_number}")
+        for stale in range(self._gc_floor, self._round + 1):
+            mvc = self.children.get(self.path + ("mvc", stale))
+            if mvc is not None:
+                mvc.destroy()
+            for j in self.config.process_ids:
+                vect = self.children.get(self.path + ("vect", stale, j))
+                if vect is not None:
+                    vect.destroy()
+        self._round = round_number
+        self._gc_floor = round_number
+        self._round_vects.clear()
+        self._vect_sent.clear()
+        self._mvc_proposed.clear()
+        self._sched_cum.clear()
+        self._sched_total = 0
+        self._position_base = None
+        if frontier:
+            self._install_frontier(frontier)
+            # Payloads picked up while bootstrapping may belong to
+            # messages the group already delivered; drop them so they
+            # can never be vouched for or delivered again here.
+            self._received = {
+                msg_id: payload
+                for msg_id, payload in self._received.items()
+                if not self._is_delivered(msg_id)
+            }
+        self.fast_forwards += 1
+        self._ensure_vect_instances(round_number)
+        self._maybe_start_round()
+
+    def absorb_frontier(self, frontier: list) -> None:
+        """Merge additional delivered-id knowledge mid-stream.
+
+        Used when a catching-up replica absorbs a checkpoint newer than
+        its bootstrap one: identifiers the group delivered meanwhile must
+        never be vouched for or re-delivered here.  Watermarks only move
+        forward, so absorbing is always safe.
+        """
+        self._install_frontier(frontier)
+        self._received = {
+            msg_id: payload
+            for msg_id, payload in self._received.items()
+            if not self._is_delivered(msg_id)
+        }
+
+    def collect_through(self, horizon: int) -> int:
+        """Destroy protocol instances for rounds up to *horizon* (clamped
+        so the current and previous rounds always survive for stragglers).
+
+        Called by the checkpoint layer once a stable checkpoint covers
+        every message those rounds ordered; returns the new GC floor.
+        """
+        self._collect(min(horizon, self._round - 2))
+        return self._gc_floor
+
+    def inject_payload(self, msg_id: MsgId, payload: Any) -> bool:
+        """Hand this instance a payload fetched out-of-band.
+
+        A replica that joined mid-stream can hold agreed identifiers
+        whose reliable broadcast completed while it was down; the
+        recovery layer fetches the payload from peers and unblocks the
+        delivery queue here.  Only identifiers that are scheduled,
+        undelivered and still missing are accepted.
+        """
+        if (
+            msg_id not in self._scheduled
+            or msg_id in self._received
+            or self._is_delivered(msg_id)
+        ):
+            return False
+        self._received[msg_id] = payload
+        self.payloads_injected += 1
+        self._drain_delivery_queue()
+        return True
+
+    def stalled_ids(self, limit: int = 32) -> list[MsgId]:
+        """Scheduled identifiers whose payload has not arrived, in
+        delivery order (the head of the list blocks everything else)."""
+        out: list[MsgId] = []
+        for msg_id in self._delivery_queue:
+            if msg_id not in self._received:
+                out.append(msg_id)
+                if len(out) >= limit:
+                    break
+        return out
+
+    def resume_broadcast_ids(self, next_rbid: int) -> None:
+        """Never assign broadcast ids below *next_rbid*.
+
+        A restarted replica must not reuse rbids from its previous
+        incarnation: peers treat delivered identifiers as duplicates,
+        so a reused id would be silently ignored group-wide.  The
+        recovery layer learns the highest id peers have seen from us
+        and resumes above it.
+        """
+        if next_rbid > self._next_rbid:
+            self._next_rbid = next_rbid
+
+    def max_rbid_from(self, sender: int) -> int:
+        """Highest rbid this instance has seen attributed to *sender*
+        (delivered, received or scheduled); ``-1`` if none."""
+        best = self._frontier.get(sender, -1)
+        for source in (self._frontier_sparse, self._received, self._scheduled):
+            for s, r in source:
+                if s == sender and r > best:
+                    best = r
+        return best
+
+    def note_delivered_external(self, msg_id: MsgId) -> bool:
+        """Mark *msg_id* delivered outside this instance (applied from a
+        transferred log suffix).  Refused for identifiers this instance
+        has scheduled itself -- those must flow through the queue."""
+        if msg_id in self._scheduled:
+            return False
+        self._mark_delivered(msg_id)
+        self._received.pop(msg_id, None)
+        return True
 
     # -- instance management -------------------------------------------------------------
 
@@ -153,7 +401,7 @@ class AtomicBroadcast(ControlBlock):
                 and isinstance(rbid, int)
                 and sender in self.config.process_ids
                 and rbid >= 0
-                and (sender, rbid) not in self._delivered_ids
+                and not self._is_delivered((sender, rbid))
                 and self._open_msg_instances.get(sender, 0) < self._msg_window
             ):
                 self._open_msg_instances[sender] = (
@@ -183,7 +431,7 @@ class AtomicBroadcast(ControlBlock):
         if kind == "msg":
             sender, rbid = child.path[-2:]
             msg_id = (sender, rbid)
-            if msg_id not in self._received and msg_id not in self._delivered_ids:
+            if msg_id not in self._received and not self._is_delivered(msg_id):
                 self._received[msg_id] = event
                 self._drain_delivery_queue()
                 self._maybe_start_round()
@@ -229,6 +477,13 @@ class AtomicBroadcast(ControlBlock):
     # -- the agreement task -------------------------------------------------------------------
 
     def _pending_ids(self) -> list[MsgId]:
+        # A fast-forwarded instance that has not yet learned its position
+        # anchor holds stale knowledge: payloads gathered while it was
+        # catching up may already be delivered group-wide.  Until the
+        # recovery layer anchors it, it vouches for nothing (peers vouch
+        # for genuinely pending messages; f+1 support never needs us).
+        if self._position_base is None:
+            return []
         return sorted(
             msg_id for msg_id in self._received if msg_id not in self._scheduled
         )
@@ -279,11 +534,19 @@ class AtomicBroadcast(ControlBlock):
         ids = self._parse_id_list(decision) if decision is not None else None
         if ids:
             for msg_id in sorted(ids):
-                if msg_id not in self._scheduled:
+                # Skip identifiers already scheduled *or* already known
+                # delivered: on a never-recovered instance delivered is a
+                # subset of scheduled, but a fast-forwarded instance knows
+                # deliveries (from its transferred frontier) it never
+                # scheduled itself -- re-delivering those would diverge
+                # from peers, which skip them via their scheduled sets.
+                if msg_id not in self._scheduled and not self._is_delivered(msg_id):
                     self._scheduled.add(msg_id)
                     self._delivery_queue.append(msg_id)
+                    self._sched_total += 1
         else:
             self.agreements_empty += 1
+        self._sched_cum[round_number] = self._sched_total
         self._round += 1
         self._ensure_vect_instances(self._round)
         self._drain_delivery_queue()
@@ -300,8 +563,8 @@ class AtomicBroadcast(ControlBlock):
                 return
             self._delivery_queue.popleft()
             payload = self._received[msg_id]
-            self._delivered_ids.add(msg_id)
-            if self._gc_rounds is not None:
+            self._mark_delivered(msg_id)
+            if self._gc_enabled:
                 del self._received[msg_id]
                 self._collectable.append((self._round, msg_id))
             delivery = AbDelivery(
@@ -321,6 +584,11 @@ class AtomicBroadcast(ControlBlock):
             del self._round_vects[round_number]
         self._vect_sent = {r for r in self._vect_sent if r > horizon}
         self._mvc_proposed = {r for r in self._mvc_proposed if r > horizon}
+        # Keep position entries for one extra window so state-transfer
+        # responses can still anchor recent round boundaries.
+        position_horizon = horizon - 8
+        for round_number in [r for r in self._sched_cum if r <= position_horizon]:
+            del self._sched_cum[round_number]
         for round_number in range(self._gc_floor, horizon + 1):
             mvc = self.children.get(self.path + ("mvc", round_number))
             if mvc is not None:

@@ -38,6 +38,28 @@ class GroupConfig:
             for more same-peer frames before flushing a batch.  0 keeps
             coalescing purely opportunistic (no added latency): only
             frames already queued are merged.
+        checkpoint_interval: delivered commands between authenticated
+            checkpoints of a replicated state machine (see
+            :mod:`repro.recovery`).  Every replica checkpoints at the
+            same global delivery positions, so the interval must be
+            identical group-wide.
+        recovery_join_margin: agreement rounds a recovering replica
+            fast-forwards *past* the most advanced peer it heard from,
+            so the join round is still in every peer's future when its
+            first AB_VECT goes out.
+        recovery_request_base_s: initial delay between state-transfer /
+            payload-fetch request waves; doubles per unanswered wave.
+        recovery_request_max_s: cap on that request backoff.
+        reconnect_base_s: first delay after a failed outbound TCP
+            connection attempt; doubles per consecutive failure.
+        reconnect_max_s: cap on the reconnect backoff.
+        reconnect_jitter: random factor added on top of the reconnect
+            delay (delay * uniform(0, jitter)), de-synchronising the
+            group's retries after a common-mode outage.
+        reconnect_retry_budget: consecutive failed connection attempts
+            after which the sender drops the frames queued toward the
+            dead peer (bounding memory) and keeps probing at the capped
+            rate.  0 never drops.
     """
 
     num_processes: int
@@ -45,6 +67,14 @@ class GroupConfig:
     batching: bool = True
     batch_max_frames: int = 64
     batch_window_s: float = 0.0
+    checkpoint_interval: int = 64
+    recovery_join_margin: int = 2
+    recovery_request_base_s: float = 0.05
+    recovery_request_max_s: float = 1.0
+    reconnect_base_s: float = 0.2
+    reconnect_max_s: float = 5.0
+    reconnect_jitter: float = 0.1
+    reconnect_retry_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.num_processes < 1:
@@ -62,6 +92,24 @@ class GroupConfig:
             raise ConfigurationError("batch_max_frames must be >= 1")
         if self.batch_window_s < 0.0:
             raise ConfigurationError("batch_window_s must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.recovery_join_margin < 1:
+            raise ConfigurationError("recovery_join_margin must be >= 1")
+        if self.recovery_request_base_s <= 0.0:
+            raise ConfigurationError("recovery_request_base_s must be > 0")
+        if self.recovery_request_max_s < self.recovery_request_base_s:
+            raise ConfigurationError(
+                "recovery_request_max_s must be >= recovery_request_base_s"
+            )
+        if self.reconnect_base_s <= 0.0:
+            raise ConfigurationError("reconnect_base_s must be > 0")
+        if self.reconnect_max_s < self.reconnect_base_s:
+            raise ConfigurationError("reconnect_max_s must be >= reconnect_base_s")
+        if self.reconnect_jitter < 0.0:
+            raise ConfigurationError("reconnect_jitter must be >= 0")
+        if self.reconnect_retry_budget < 0:
+            raise ConfigurationError("reconnect_retry_budget must be >= 0")
 
     @property
     def n(self) -> int:
@@ -108,4 +156,11 @@ class GroupConfig:
     @property
     def mat_quorum(self) -> int:
         """Echo broadcast: correct MAC entries needed to deliver, ``f + 1``."""
+        return self.f + 1
+
+    @property
+    def certificate_quorum(self) -> int:
+        """Checkpoint stability: matching attestations needed, ``f + 1``
+        (at least one from a correct replica, so the digest is the state
+        every correct replica holds at that position)."""
         return self.f + 1

@@ -231,6 +231,7 @@ class ProtocolFactory:
         from repro.core.multivalued_consensus import MultiValuedConsensus
         from repro.core.reliable_broadcast import ReliableBroadcast
         from repro.core.vector_consensus import VectorConsensus
+        from repro.recovery.protocol import RecoveryProtocol
 
         return cls(
             {
@@ -240,6 +241,7 @@ class ProtocolFactory:
                 "mvc": MultiValuedConsensus,
                 "vc": VectorConsensus,
                 "ab": AtomicBroadcast,
+                "ckpt": RecoveryProtocol,
             }
         )
 

@@ -126,3 +126,66 @@ class StackStats:
         self.ooc_drained += other.ooc_drained
         self.ooc_evicted += other.ooc_evicted
         self.ooc_purged += other.ooc_purged
+
+
+@dataclass
+class RecoveryStats:
+    """Counters of the checkpoint / state-transfer subsystem
+    (:mod:`repro.recovery`), one per :class:`~repro.recovery.RecoveryManager`.
+
+    The benchmark comparisons (time-to-rejoin, bytes transferred vs.
+    full replay) read these; tests assert on them exactly.
+    """
+
+    # -- checkpoint duty -------------------------------------------------------
+    checkpoints_taken: int = 0
+    checkpoints_stable: int = 0
+    attestations_sent: int = 0
+    attestations_accepted: int = 0
+    attestations_rejected: int = 0
+    digest_divergence: int = 0
+    log_truncations: int = 0
+    gc_advances: int = 0
+
+    # -- serving peers ---------------------------------------------------------
+    state_requests_served: int = 0
+    payloads_served: int = 0
+    state_bytes_sent: int = 0
+
+    # -- recovering ------------------------------------------------------------
+    state_requests_sent: int = 0
+    state_responses_received: int = 0
+    certificates_rejected: int = 0
+    snapshots_installed: int = 0
+    suffix_entries_applied: int = 0
+    buffered_applied: int = 0
+    payload_requests_sent: int = 0
+    payloads_injected: int = 0
+    state_bytes_received: int = 0
+    rejoin_time_s: float | None = None
+
+    def merge(self, other: "RecoveryStats") -> None:
+        """Accumulate *other* into this object (for group-wide totals)."""
+        for name in (
+            "checkpoints_taken",
+            "checkpoints_stable",
+            "attestations_sent",
+            "attestations_accepted",
+            "attestations_rejected",
+            "digest_divergence",
+            "log_truncations",
+            "gc_advances",
+            "state_requests_served",
+            "payloads_served",
+            "state_bytes_sent",
+            "state_requests_sent",
+            "state_responses_received",
+            "certificates_rejected",
+            "snapshots_installed",
+            "suffix_entries_applied",
+            "buffered_applied",
+            "payload_requests_sent",
+            "payloads_injected",
+            "state_bytes_received",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))

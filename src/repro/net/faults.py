@@ -98,6 +98,11 @@ class FaultPlan:
     def faulty_ids(self) -> set[int]:
         return set(self.crashed) | set(self.byzantine)
 
+    def revive(self, process_id: int) -> None:
+        """Clear a crash entry (the process restarted; see
+        :meth:`LanSimulation.restart_process`)."""
+        self.crashed.pop(process_id, None)
+
     def is_crashed(self, process_id: int, at_time: float) -> bool:
         crash_time = self.crashed.get(process_id)
         return crash_time is not None and at_time >= crash_time

@@ -160,31 +160,57 @@ class LanSimulation:
         # one batch per write.
         self._link_pending: dict[tuple[int, int], list[bytes]] = {}
 
-        dealer = TrustedDealer(config.num_processes, seed=str(seed).encode())
-        coin_dealer = (
+        self._dealer = TrustedDealer(config.num_processes, seed=str(seed).encode())
+        self._coin_dealer = (
             SharedCoinDealer(secret=f"coin/{seed}".encode()) if shared_coin else None
         )
-        honest_factory = (
+        self._honest_factory = (
             base_factory if base_factory is not None else ProtocolFactory.default()
         )
+        # Incarnation counter per process: frames in flight to or from an
+        # earlier incarnation are dropped on arrival (the restart killed
+        # the TCP connections they were riding on).
+        self._generation = [0] * config.num_processes
         self.hosts = [_Host() for _ in config.process_ids]
         self.stacks: list[Stack] = []
         for pid in config.process_ids:
-            factory = honest_factory
-            transform = self.fault_plan.byzantine.get(pid)
-            if transform is not None:
-                factory = transform(honest_factory)
-            stack = Stack(
-                config,
-                pid,
-                outbox=self._make_outbox(pid),
-                keystore=dealer.keystore_for(pid),
-                clock=lambda: self.loop.now,
-                factory=factory,
-                rng=random.Random(f"{seed}/{pid}"),
-                coin=coin_dealer.coin_for(pid) if coin_dealer else None,
-            )
-            self.stacks.append(stack)
+            self.stacks.append(self._build_stack(pid))
+
+    def _build_stack(self, pid: int) -> Stack:
+        factory = self._honest_factory
+        transform = self.fault_plan.byzantine.get(pid)
+        if transform is not None:
+            factory = transform(self._honest_factory)
+        incarnation = self._generation[pid]
+        rng_tag = f"{self.seed}/{pid}" + (f"/r{incarnation}" if incarnation else "")
+        return Stack(
+            self.config,
+            pid,
+            outbox=self._make_outbox(pid),
+            keystore=self._dealer.keystore_for(pid),
+            clock=lambda: self.loop.now,
+            factory=factory,
+            rng=random.Random(rng_tag),
+            coin=self._coin_dealer.coin_for(pid) if self._coin_dealer else None,
+        )
+
+    def restart_process(self, pid: int) -> Stack:
+        """Restart process *pid* with a brand-new (empty) stack.
+
+        Models a machine reboot: the previous incarnation's protocol
+        state is gone, frames still in flight to or from it are dropped
+        (its connections died), and any crash entry in the fault plan is
+        cleared so the new incarnation sends and receives again.  The
+        caller re-creates application instances on the returned stack
+        and typically attaches a :class:`~repro.recovery.RecoveryManager`
+        with ``recovering=True`` to rejoin the group.
+        """
+        self._generation[pid] += 1
+        self.fault_plan.revive(pid)
+        for key in [k for k in self._link_pending if pid in k]:
+            del self._link_pending[key]
+        self.stacks[pid] = self._build_stack(pid)
+        return self.stacks[pid]
 
     # -- wire model -----------------------------------------------------------------
 
@@ -218,7 +244,7 @@ class LanSimulation:
             # In-process loopback: a function call, not a trip through
             # TCP/IPSec (mirrors the original C library's short circuit).
             done = self.hosts[src].cpu.acquire(now, params.local_delivery_s)
-            self.loop.schedule_at(done, self._deliver, src, dest, data)
+            self.loop.schedule_at(done, self._deliver, src, dest, data, self._gen(src, dest))
             return
         if self.config.batching:
             # Link-level flush window: frames queued toward this peer
@@ -257,6 +283,10 @@ class LanSimulation:
                 self.link_frames_coalesced += len(chunk)
                 self._transmit_unit(src, dest, encode_batch(chunk))
 
+    def _gen(self, src: int, dest: int) -> tuple[int, int]:
+        """Incarnation stamp a frame carries through the staged events."""
+        return (self._generation[src], self._generation[dest])
+
     def _transmit_unit(self, src: int, dest: int, data: bytes) -> None:
         now = self.loop.now
         params = self.params
@@ -276,9 +306,13 @@ class LanSimulation:
         # Downlink and receiver-CPU time must be claimed when the frame
         # actually reaches each resource (staged events), not now: frames
         # still in flight must never block the receiver's present work.
-        self.loop.schedule_at(at_switch, self._arrive, src, dest, data, wire_bytes)
+        self.loop.schedule_at(
+            at_switch, self._arrive, src, dest, data, wire_bytes, self._gen(src, dest)
+        )
 
-    def _arrive(self, src: int, dest: int, data: bytes, wire_bytes: int) -> None:
+    def _arrive(
+        self, src: int, dest: int, data: bytes, wire_bytes: int, gen: tuple[int, int]
+    ) -> None:
         now = self.loop.now
         clear_at = self.fault_plan.partition_clear_time(src, dest, now)
         if clear_at > now:
@@ -286,21 +320,31 @@ class LanSimulation:
             # segment; it crosses once the partition heals.
             retransmit_at = clear_at + self.params.switch_latency_s
             self.loop.schedule_at(
-                retransmit_at, self._arrive, src, dest, data, wire_bytes
+                retransmit_at, self._arrive, src, dest, data, wire_bytes, gen
             )
             return
         serialization = wire_bytes * 8.0 / self.params.bandwidth_bps
         downlink_done = self.hosts[dest].nic_in.acquire(now, serialization)
-        self.loop.schedule_at(downlink_done, self._receive, src, dest, data, wire_bytes)
+        self.loop.schedule_at(
+            downlink_done, self._receive, src, dest, data, wire_bytes, gen
+        )
 
-    def _receive(self, src: int, dest: int, data: bytes, wire_bytes: int) -> None:
+    def _receive(
+        self, src: int, dest: int, data: bytes, wire_bytes: int, gen: tuple[int, int]
+    ) -> None:
         recv_done = self.hosts[dest].cpu.acquire(
             self.loop.now, self._cpu_cost(wire_bytes, self.params.cpu_recv_s)
         )
-        self.loop.schedule_at(recv_done, self._deliver, src, dest, data)
+        self.loop.schedule_at(recv_done, self._deliver, src, dest, data, gen)
 
-    def _deliver(self, src: int, dest: int, data: bytes) -> None:
+    def _deliver(
+        self, src: int, dest: int, data: bytes, gen: tuple[int, int] | None = None
+    ) -> None:
         if self.fault_plan.is_crashed(dest, self.loop.now):
+            self.frames_dropped_crash += 1
+            return
+        if gen is not None and gen != self._gen(src, dest):
+            # A restart severed the connection this frame was riding on.
             self.frames_dropped_crash += 1
             return
         self.frames_delivered += 1

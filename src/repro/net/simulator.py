@@ -43,6 +43,30 @@ class EventLoop:
         heapq.heappush(self._heap, (time, self._sequence, fn, args))
         self._sequence += 1
 
+    def schedule_every(
+        self, period: float, fn: Callable[..., None], *args: Any
+    ) -> "PeriodicHandle":
+        """Run ``fn(*args)`` every *period* seconds (first run one period
+        from now) until the returned handle is cancelled.
+
+        Note that a pending periodic event keeps the loop's queue
+        non-empty, so drive the simulation with ``until=...`` or
+        ``max_time=...`` rather than waiting for it to go idle.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive (got {period})")
+        handle = PeriodicHandle()
+
+        def tick() -> None:
+            if handle.cancelled:
+                return
+            fn(*args)
+            if not handle.cancelled:
+                self.schedule(period, tick)
+
+        self.schedule(period, tick)
+        return handle
+
     def run(
         self,
         until: Callable[[], bool] | None = None,
@@ -73,3 +97,15 @@ class EventLoop:
             if until is not None and until():
                 return "until"
         return "idle"
+
+
+class PeriodicHandle:
+    """Cancellation token for :meth:`EventLoop.schedule_every`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True

@@ -1,0 +1,53 @@
+"""Checkpointing, state transfer and replica recovery.
+
+The RITAS paper assumes every process lives forever: its protocols keep
+per-instance state for the whole run and a process that loses its memory
+never rejoins.  This package adds the missing operational layer --
+a *divergence from the paper*, built entirely on top of its primitives:
+
+- **Authenticated checkpoints** -- every ``checkpoint_interval``
+  delivered commands each replica digests its state machine and MAC-
+  authenticates the digest towards every peer; ``f + 1`` matching
+  attestations form a *stability certificate* (at least one attester is
+  correct, so the digest is the state every correct replica holds at
+  that position).
+- **Coordinated log truncation** -- a stable checkpoint advances the
+  atomic broadcast's GC floor, so per-instance protocol state and the
+  command log are bounded by the checkpoint window instead of growing
+  with history.
+- **State transfer** -- a restarted (or freshly added) replica fetches
+  the latest stable checkpoint plus the log suffix from its peers,
+  verifies the certificate, installs the snapshot, replays the suffix
+  and splices itself into the live agreement rounds -- identically on
+  the simulated and the asyncio TCP runtimes.
+"""
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    attestation_bytes,
+    build_certificate,
+    checkpoint_digest,
+    parse_certificate,
+    verify_certificate,
+)
+from repro.recovery.manager import (
+    PHASE_BOOTSTRAP,
+    PHASE_JOINING,
+    PHASE_LIVE,
+    RecoveryManager,
+)
+from repro.recovery.protocol import RecoveryProtocol
+
+__all__ = [
+    "Checkpoint",
+    "attestation_bytes",
+    "build_certificate",
+    "checkpoint_digest",
+    "parse_certificate",
+    "verify_certificate",
+    "RecoveryManager",
+    "RecoveryProtocol",
+    "PHASE_BOOTSTRAP",
+    "PHASE_JOINING",
+    "PHASE_LIVE",
+]

@@ -1,0 +1,228 @@
+"""The recovery wire protocol -- a leaf control block.
+
+One :class:`RecoveryProtocol` instance lives at a fixed path on every
+replica (conventionally ``("rec",)``) and speaks five message types:
+
+- ``M_CHECKPOINT`` -- broadcast attestation ``(seq, digest, mac vector)``
+  after taking a local checkpoint;
+- ``M_STATE_REQ`` / ``M_STATE_RESP`` -- a recovering replica asks peers
+  for (checkpoint + certificate + log suffix) or for the tail up to its
+  join-round boundary;
+- ``M_PAYLOAD_REQ`` / ``M_PAYLOAD_RESP`` -- fetch payloads of agreed
+  identifiers whose reliable broadcast finished while the replica was
+  down.
+
+The block is deliberately thin: it decodes defensively (every field is
+attacker-controlled except the authenticated source id) and hands
+well-formed messages to the :class:`~repro.recovery.manager.RecoveryManager`
+that owns it.  All policy -- quorums, certificates, phases -- lives in
+the manager, keeping the wire layer testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.mbuf import Mbuf
+from repro.core.stack import ControlBlock, Stack
+from repro.core.wire import Path
+
+M_CHECKPOINT = 1
+M_STATE_REQ = 2
+M_STATE_RESP = 3
+M_PAYLOAD_REQ = 4
+M_PAYLOAD_RESP = 5
+
+#: Cap on log entries accepted in one state response and identifiers in
+#: one payload request -- a corrupt peer must not blow up memory.
+MAX_ENTRIES = 1024
+MAX_PAYLOAD_IDS = 64
+
+#: Sanity bound on the "highest rbid seen" field of a state response --
+#: a corrupt responder must not be able to push a recoverer's broadcast
+#: ids beyond what the wire codec can carry.
+MAX_RBID = 1 << 48
+
+#: Request modes carried in M_STATE_REQ.
+MODE_BOOTSTRAP = 0
+MODE_TAIL = 1
+
+
+class RecoveryProtocol(ControlBlock):
+    """Wire endpoint of the recovery subsystem on one replica."""
+
+    protocol = "ckpt"
+
+    def __init__(
+        self,
+        stack: Stack,
+        path: Path,
+        parent: ControlBlock | None = None,
+        purpose: str | None = None,
+        *,
+        manager: Any = None,
+    ):
+        super().__init__(stack, path, parent, purpose)
+        #: The policy object; assigned by :class:`RecoveryManager`.
+        self.manager = manager
+
+    # -- sending -------------------------------------------------------------------
+
+    def send_to_peers(self, mtype: int, payload: Any) -> None:
+        """Send one frame to every *other* process (requests never need
+        the loopback; attestations do and use :meth:`send_all`)."""
+        for pid in self.config.process_ids:
+            if pid != self.me:
+                self.send(pid, mtype, payload)
+
+    # -- receiving -----------------------------------------------------------------
+
+    def input(self, mbuf: Mbuf) -> None:
+        if self.manager is None:
+            return
+        handler = {
+            M_CHECKPOINT: self._on_checkpoint,
+            M_STATE_REQ: self._on_state_req,
+            M_STATE_RESP: self._on_state_resp,
+            M_PAYLOAD_REQ: self._on_payload_req,
+            M_PAYLOAD_RESP: self._on_payload_resp,
+        }.get(mbuf.mtype)
+        if handler is not None:
+            handler(mbuf)
+
+    def _on_checkpoint(self, mbuf: Mbuf) -> None:
+        p = mbuf.payload
+        if (
+            isinstance(p, list)
+            and len(p) == 3
+            and isinstance(p[0], int)
+            and p[0] > 0
+            and isinstance(p[1], bytes)
+            and isinstance(p[2], list)
+            and len(p[2]) == self.config.num_processes
+            and all(isinstance(tag, bytes) for tag in p[2])
+        ):
+            self.manager.handle_checkpoint(mbuf.src, p[0], p[1], p[2])
+
+    def _on_state_req(self, mbuf: Mbuf) -> None:
+        p = mbuf.payload
+        if (
+            isinstance(p, list)
+            and len(p) == 3
+            and p[0] in (MODE_BOOTSTRAP, MODE_TAIL)
+            and isinstance(p[1], int)
+            and p[1] >= 0
+            and (p[2] is None or (isinstance(p[2], int) and p[2] > 0))
+        ):
+            self.manager.handle_state_req(mbuf.src, p[0], p[1], p[2])
+
+    def _on_state_resp(self, mbuf: Mbuf) -> None:
+        p = mbuf.payload
+        if (
+            not isinstance(p, list)
+            or len(p) != 6
+            or p[0] not in (MODE_BOOTSTRAP, MODE_TAIL)
+            or not isinstance(p[2], list)
+            or len(p[2]) > MAX_ENTRIES
+            or not isinstance(p[3], int)
+            or p[3] < 0
+            or not isinstance(p[4], int)
+            or p[4] < 0
+            or not isinstance(p[5], int)
+            or not -1 <= p[5] < MAX_RBID
+        ):
+            return
+        entries = _parse_entries(p[2], self.config.num_processes)
+        if entries is None:
+            return
+        if p[0] == MODE_BOOTSTRAP:
+            # p[1]: checkpoint part, validated by the manager (it owns
+            # certificate verification); shape-checked here.
+            ckpt = p[1]
+            if ckpt is not None and not (
+                isinstance(ckpt, list)
+                and len(ckpt) == 5
+                and isinstance(ckpt[0], int)
+                and ckpt[0] > 0
+                and isinstance(ckpt[1], bytes)
+                and isinstance(ckpt[2], bytes)
+                and isinstance(ckpt[3], list)
+                and isinstance(ckpt[4], list)
+            ):
+                return
+            self.manager.handle_bootstrap_resp(
+                mbuf.src, ckpt, entries, p[3], p[4], p[5], mbuf.wire_size
+            )
+        else:
+            boundary = p[1]
+            if boundary is not None and not (
+                isinstance(boundary, int) and boundary >= 0
+            ):
+                return
+            self.manager.handle_tail_resp(
+                mbuf.src, boundary, entries, p[3], p[4], p[5], mbuf.wire_size
+            )
+
+    def _on_payload_req(self, mbuf: Mbuf) -> None:
+        p = mbuf.payload
+        ids = _parse_ids(p, self.config.num_processes)
+        if ids is not None:
+            self.manager.handle_payload_req(mbuf.src, ids)
+
+    def _on_payload_resp(self, mbuf: Mbuf) -> None:
+        p = mbuf.payload
+        if not isinstance(p, list) or len(p) > MAX_PAYLOAD_IDS:
+            return
+        found: list[tuple[int, int, Any]] = []
+        for entry in p:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 3
+                or not isinstance(entry[0], int)
+                or not 0 <= entry[0] < self.config.num_processes
+                or not isinstance(entry[1], int)
+                or entry[1] < 0
+            ):
+                return
+            found.append((entry[0], entry[1], entry[2]))
+        if found:
+            self.manager.handle_payload_resp(mbuf.src, found, mbuf.wire_size)
+
+
+def _parse_entries(
+    payload: list, num_processes: int
+) -> list[tuple[int, int, int, Any]] | None:
+    """Decode ``[[pos, sender, rbid, payload], ...]`` log entries."""
+    out: list[tuple[int, int, int, Any]] = []
+    for entry in payload:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 4
+            or not isinstance(entry[0], int)
+            or entry[0] < 0
+            or not isinstance(entry[1], int)
+            or not 0 <= entry[1] < num_processes
+            or not isinstance(entry[2], int)
+            or entry[2] < 0
+        ):
+            return None
+        out.append((entry[0], entry[1], entry[2], entry[3]))
+    return out
+
+
+def _parse_ids(payload: Any, num_processes: int) -> list[tuple[int, int]] | None:
+    if not isinstance(payload, list) or not payload or len(payload) > MAX_PAYLOAD_IDS:
+        return None
+    out: list[tuple[int, int]] = []
+    for entry in payload:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not isinstance(entry[0], int)
+            or not 0 <= entry[0] < num_processes
+            or not isinstance(entry[1], int)
+            or entry[1] < 0
+        ):
+            return None
+        out.append((entry[0], entry[1]))
+    return out

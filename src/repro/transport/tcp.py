@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import struct
 import time
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.config import GroupConfig
 from repro.core.stack import ProtocolFactory, Stack
@@ -47,8 +49,12 @@ class RitasNode:
         keystore: pairwise keys (from a :class:`TrustedDealer` or an
             out-of-band provisioning step, as in the paper).
         factory: protocol registry; override for fault-injection tests.
-        connect_retry_s: delay between outbound connection attempts
-            while peers are still coming up.
+        connect_retry_s: base delay between outbound connection attempts
+            while peers are still coming up; defaults to the group's
+            ``reconnect_base_s``.  The delay doubles per consecutive
+            failure up to ``reconnect_max_s``, with multiplicative
+            jitter ``reconnect_jitter`` so a restarted group does not
+            reconnect in lockstep.
     """
 
     def __init__(
@@ -59,7 +65,7 @@ class RitasNode:
         keystore: KeyStore,
         *,
         factory: ProtocolFactory | None = None,
-        connect_retry_s: float = 0.2,
+        connect_retry_s: float | None = None,
     ):
         if len(addresses) != config.num_processes:
             raise ValueError("need one address per process")
@@ -67,7 +73,9 @@ class RitasNode:
         self.process_id = process_id
         self.addresses = list(addresses)
         self.keystore = keystore
-        self.connect_retry_s = connect_retry_s
+        self.connect_retry_s = (
+            config.reconnect_base_s if connect_retry_s is None else connect_retry_s
+        )
         self.stack = Stack(
             config,
             process_id,
@@ -87,6 +95,10 @@ class RitasNode:
         #: sender tasks (on top of any coalescing the stack already did).
         self.batches_sent = 0
         self.frames_batched = 0
+        #: Reconnect bookkeeping (see :meth:`_reconnect_delay`).
+        self.connect_attempts = 0
+        self.frames_dropped_reconnect = 0
+        self.reconnect_delays: list[float] = []
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -162,6 +174,29 @@ class RitasNode:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
+    def add_ticker(self, period_s: float, fn: Callable[[], Any]) -> None:
+        """Call ``fn()`` every *period_s* seconds on the event loop until
+        the node closes.
+
+        This drives poll-style timers -- for example
+        :meth:`repro.recovery.RecoveryManager.poke` -- on the asyncio
+        runtime, mirroring :meth:`EventLoop.schedule_every` on the
+        simulated one.
+        """
+        if period_s <= 0:
+            raise ValueError(f"period must be positive (got {period_s})")
+
+        async def ticker() -> None:
+            try:
+                while not self._closed:
+                    await asyncio.sleep(period_s)
+                    if not self._closed:
+                        fn()
+            except asyncio.CancelledError:
+                pass
+
+        self._tasks.append(asyncio.create_task(ticker()))
+
     # -- outbound -------------------------------------------------------------------
 
     def _outbox(self, dest: int, data: bytes) -> None:
@@ -193,21 +228,48 @@ class RitasNode:
         self.frames_batched += len(chunk)
         return encode_batch(chunk)
 
+    def _reconnect_delay(self, failures: int) -> float:
+        """Backoff before reconnect attempt number *failures* + 1: the
+        base delay doubled per consecutive failure, capped at
+        ``reconnect_max_s``, stretched by up to ``reconnect_jitter``."""
+        config = self.config
+        delay = min(
+            self.connect_retry_s * (2.0 ** (failures - 1)), config.reconnect_max_s
+        )
+        if config.reconnect_jitter > 0:
+            delay *= 1.0 + random.uniform(0.0, config.reconnect_jitter)
+        if len(self.reconnect_delays) < 4096:
+            self.reconnect_delays.append(delay)
+        return delay
+
     async def _sender(self, pid: int, queue: asyncio.Queue[bytes]) -> None:
         """Own the outbound connection to *pid*: (re)connect and drain."""
         codec = self._send_codecs[pid]
         writer: asyncio.StreamWriter | None = None
+        failures = 0
+        budget = self.config.reconnect_retry_budget
         try:
             while not self._closed:
                 if writer is None:
                     address = self.addresses[pid]
+                    self.connect_attempts += 1
                     try:
                         _, writer = await asyncio.open_connection(
                             address.host, address.port
                         )
                         self._writers[pid] = writer
+                        failures = 0
                     except OSError:
-                        await asyncio.sleep(self.connect_retry_s)
+                        failures += 1
+                        if budget and failures >= budget:
+                            # Past the retry budget the peer is presumed
+                            # down: shed its queue so memory stays
+                            # bounded while probing continues at the
+                            # capped rate.
+                            while not queue.empty():
+                                queue.get_nowait()
+                                self.frames_dropped_reconnect += 1
+                        await asyncio.sleep(self._reconnect_delay(failures))
                         continue
                 data = await queue.get()
                 if self.config.batching:

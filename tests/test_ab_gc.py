@@ -61,7 +61,10 @@ class TestGc:
             net.run()
         ab = net.stacks[0].instance_at(("g",))
         assert len(ab._received) == 0
-        assert len(ab._delivered_ids) == 5
+        assert ab.delivered_count == 5
+        # The delivered-id record stays compact: one contiguous
+        # watermark per sender, no sparse stragglers.
+        assert ab.delivered_frontier() == [[0, 4, []]]
 
     def test_no_redelivery_after_gc(self):
         """Stale frames for a collected message must not re-deliver it."""

@@ -229,7 +229,7 @@ class TestInstanceTree:
 class TestFactory:
     def test_default_factory_has_all_layers(self):
         factory = ProtocolFactory.default()
-        assert factory.kinds() == ["ab", "bc", "eb", "mvc", "rb", "vc"]
+        assert factory.kinds() == ["ab", "bc", "ckpt", "eb", "mvc", "rb", "vc"]
 
     def test_unknown_kind(self):
         with pytest.raises(ConfigurationError):

@@ -141,3 +141,109 @@ class TestResilience:
             node.stack.send_frame(1, ("t",), 0, b"x")  # silently dropped
 
         asyncio.run(scenario())
+
+
+class TestReconnectBackoff:
+    def _node(self, config, pid=0):
+        dealer = TrustedDealer(4, seed=b"backoff")
+        addresses = [PeerAddress("127.0.0.1", 0)] * 4
+        return RitasNode(config, pid, addresses, dealer.keystore_for(pid))
+
+    def test_delay_doubles_up_to_cap(self):
+        config = GroupConfig(
+            4, reconnect_base_s=0.05, reconnect_max_s=0.4, reconnect_jitter=0.0
+        )
+        node = self._node(config)
+        delays = [node._reconnect_delay(k) for k in range(1, 7)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.4, 0.4]
+        assert node.reconnect_delays == delays
+
+    def test_jitter_stays_within_factor(self):
+        config = GroupConfig(
+            4, reconnect_base_s=0.1, reconnect_max_s=5.0, reconnect_jitter=0.5
+        )
+        node = self._node(config)
+        for _ in range(50):
+            delay = node._reconnect_delay(1)
+            assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_explicit_retry_overrides_config_base(self):
+        config = GroupConfig(4, reconnect_base_s=0.9, reconnect_jitter=0.0)
+        dealer = TrustedDealer(4, seed=b"backoff")
+        addresses = [PeerAddress("127.0.0.1", 0)] * 4
+        node = RitasNode(
+            config, 0, addresses, dealer.keystore_for(0), connect_retry_s=0.05
+        )
+        assert node._reconnect_delay(1) == 0.05
+
+    def test_retry_budget_sheds_queued_frames(self):
+        """Past the budget, frames toward a presumed-dead peer are
+        dropped (bounded memory) while probing continues."""
+        config = GroupConfig(
+            4,
+            reconnect_base_s=0.01,
+            reconnect_max_s=0.02,
+            reconnect_jitter=0.0,
+            reconnect_retry_budget=2,
+        )
+        dealer = TrustedDealer(4, seed=b"budget")
+
+        async def scenario():
+            # Peers get reserved-but-unbound ports: connects fail fast.
+            addresses = [PeerAddress("127.0.0.1", 0)] + [
+                PeerAddress("127.0.0.1", reserve_port()) for _ in range(3)
+            ]
+            node = RitasNode(config, 0, addresses, dealer.keystore_for(0))
+            await node.listen()
+            await node.connect()
+            try:
+                for _ in range(5):
+                    node.stack.send_frame(1, ("t",), 0, b"x")
+                for _ in range(300):
+                    if node.frames_dropped_reconnect >= 5:
+                        break
+                    await asyncio.sleep(0.01)
+                assert node.frames_dropped_reconnect >= 5
+                assert node.connect_attempts >= 3
+                # Backoff grew between consecutive failures (the three
+                # sender tasks interleave, so check the range, not
+                # adjacent entries).
+                for _ in range(300):
+                    if 0.02 in node.reconnect_delays:
+                        break
+                    await asyncio.sleep(0.01)
+                assert node.reconnect_delays[0] == 0.01
+                assert 0.02 in node.reconnect_delays
+            finally:
+                await node.close()
+
+        asyncio.run(scenario())
+
+    def test_ticker_fires_until_close(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 0)] * 4
+            node = make_node(config, dealer, addresses, 0)
+            await node.listen()
+            ticks = []
+            node.add_ticker(0.01, lambda: ticks.append(1))
+            await asyncio.sleep(0.1)
+            assert len(ticks) >= 3
+            await node.close()
+            settled = len(ticks)
+            await asyncio.sleep(0.05)
+            assert len(ticks) == settled
+
+        asyncio.run(scenario())
+
+    def test_ticker_rejects_bad_period(self, group4):
+        config, dealer = group4
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 0)] * 4
+            node = make_node(config, dealer, addresses, 0)
+            with pytest.raises(ValueError):
+                node.add_ticker(0.0, lambda: None)
+
+        asyncio.run(scenario())

@@ -31,8 +31,10 @@ class _BaseNet:
         seed: int = 0,
         factories: dict[int, ProtocolFactory] | None = None,
         crashed: set[int] | None = None,
+        config: GroupConfig | None = None,
     ):
-        self.config = GroupConfig(n)
+        self.config = config if config is not None else GroupConfig(n)
+        n = self.config.num_processes
         self.crashed = set(crashed or ())
         dealer = TrustedDealer(n, seed=str(seed).encode())
         self.stacks: list[Stack] = []
