@@ -17,21 +17,35 @@ processes stay untouched (see :class:`repro.core.stack.ProtocolFactory`).
 """
 
 from repro.adversary.strategies import (
+    STRATEGIES,
     AlwaysZeroBinaryConsensus,
+    BadMacEchoBroadcast,
     CrashOnProposeBinaryConsensus,
     DefaultValueMultiValuedConsensus,
+    DuplicateStormReliableBroadcast,
+    OocFlooderAtomicBroadcast,
     RandomBitBinaryConsensus,
+    bad_mac_faultload,
     byzantine_paper_faultload,
     crash_consensus_faultload,
+    duplicate_storm_faultload,
+    ooc_flood_faultload,
     random_noise_faultload,
 )
 
 __all__ = [
+    "STRATEGIES",
     "AlwaysZeroBinaryConsensus",
+    "BadMacEchoBroadcast",
     "CrashOnProposeBinaryConsensus",
     "DefaultValueMultiValuedConsensus",
+    "DuplicateStormReliableBroadcast",
+    "OocFlooderAtomicBroadcast",
     "RandomBitBinaryConsensus",
+    "bad_mac_faultload",
     "byzantine_paper_faultload",
     "crash_consensus_faultload",
+    "duplicate_storm_faultload",
+    "ooc_flood_faultload",
     "random_noise_faultload",
 ]

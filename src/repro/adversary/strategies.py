@@ -11,9 +11,14 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.atomic_broadcast import AtomicBroadcast
 from repro.core.binary_consensus import BinaryConsensus
+from repro.core.echo_broadcast import EchoBroadcast
+from repro.core.mbuf import Mbuf
 from repro.core.multivalued_consensus import MultiValuedConsensus
-from repro.core.stack import ProtocolFactory
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.stack import ControlBlock, ProtocolFactory
+from repro.crypto.hashing import HASH_LEN
 
 
 class AlwaysZeroBinaryConsensus(BinaryConsensus):
@@ -54,6 +59,80 @@ class DefaultValueMultiValuedConsensus(MultiValuedConsensus):
         return [None, None]
 
 
+# -- flooding (resource-exhaustion) strategies --------------------------------
+#
+# The value-level attackers above stay inside the protocols' envelopes;
+# these instead attack the *resources* of correct processes -- OOC table
+# slots, decode CPU, bandwidth -- which is what the flood-defense layer
+# (per-peer quotas, misbehavior ledger, bounded queues) exists to absorb.
+
+
+class OocFlooderAtomicBroadcast(AtomicBroadcast):
+    """Sprays frames for instances that will never exist.
+
+    Every real broadcast and child event is accompanied by a burst of
+    ``flood_burst`` frames to ghost paths under the AB session; correct
+    receivers cannot resolve them (``accept_orphan`` refuses) and must
+    park each one out-of-context.  Against the seed's global-FIFO OOC
+    eviction this pushes *honest* parked messages out of the table;
+    against per-sender fair eviction only the flooder's entries churn.
+    """
+
+    flood_burst = 8
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._flood_counter = 0
+
+    def _flood(self) -> None:
+        for _ in range(self.flood_burst):
+            self._flood_counter += 1
+            ghost = self.path + ("ghost", self._flood_counter)
+            self.stack.broadcast_frame(ghost, 0, b"flood")
+
+    def broadcast(self, payload: Any) -> Any:
+        result = super().broadcast(payload)
+        self._flood()
+        return result
+
+    def child_event(self, child: ControlBlock, event: Any) -> None:
+        super().child_event(child, event)
+        self._flood()
+
+
+class DuplicateStormReliableBroadcast(ReliableBroadcast):
+    """Repeats every outgoing rb frame ``storm_factor`` times.
+
+    Duplicates are protocol-harmless (votes count once per source) but
+    each copy still costs every receiver decode CPU and bandwidth -- a
+    pure amplification attack on the channel.
+    """
+
+    storm_factor = 4
+
+    def send_all(self, mtype: int, payload: Any) -> None:
+        for _ in range(self.storm_factor):
+            super().send_all(mtype, payload)
+
+
+class BadMacEchoBroadcast(EchoBroadcast):
+    """An echo-broadcast sender whose MAT columns carry garbage MACs.
+
+    Rows are garbled as the VECTs arrive, so every column this process
+    distributes (for its own broadcasts) fails the receivers' ``f + 1``
+    MAC quorum: nobody delivers, and every correct receiver charges the
+    sender a ``mac-failure`` in its misbehavior ledger.  Only sender-side
+    state is corrupted -- the attribution rule means a corrupt *relay*
+    could never pin this on an honest sender.
+    """
+
+    def _on_vect(self, mbuf: Mbuf) -> None:
+        if self.me == self.sender and self._valid_vector(mbuf.payload):
+            for index in range(len(mbuf.payload)):
+                mbuf.payload[index] = b"\x00" * HASH_LEN
+        super()._on_vect(mbuf)
+
+
 def byzantine_paper_faultload(factory: ProtocolFactory) -> ProtocolFactory:
     """The exact Byzantine faultload of Section 4.2: zero at the binary
     consensus layer, ⊥ at the multi-valued consensus layer."""
@@ -71,3 +150,29 @@ def crash_consensus_faultload(factory: ProtocolFactory) -> ProtocolFactory:
     """An omission attacker that participates in broadcasts but never in
     consensus."""
     return factory.override("bc", CrashOnProposeBinaryConsensus)
+
+
+def ooc_flood_faultload(factory: ProtocolFactory) -> ProtocolFactory:
+    """A flooder spraying out-of-context frames at the whole group."""
+    return factory.override("ab", OocFlooderAtomicBroadcast)
+
+
+def duplicate_storm_faultload(factory: ProtocolFactory) -> ProtocolFactory:
+    """An amplifier repeating every reliable-broadcast frame."""
+    return factory.override("rb", DuplicateStormReliableBroadcast)
+
+
+def bad_mac_faultload(factory: ProtocolFactory) -> ProtocolFactory:
+    """An echo-broadcast sender distributing unverifiable MAC columns."""
+    return factory.override("eb", BadMacEchoBroadcast)
+
+
+#: Named faultloads, resolvable by :meth:`repro.net.faults.FaultPlan.with_byzantine`.
+STRATEGIES: dict[str, Any] = {
+    "paper": byzantine_paper_faultload,
+    "noise": random_noise_faultload,
+    "crash-consensus": crash_consensus_faultload,
+    "ooc-flood": ooc_flood_faultload,
+    "duplicate-storm": duplicate_storm_faultload,
+    "bad-mac": bad_mac_faultload,
+}

@@ -105,6 +105,19 @@ class ReplicatedKvStore:
     def cas(self, key: str, expected: bytes | None, value: bytes) -> None:
         self._rsm.submit(KvCommand.cas(key, expected, value))
 
+    # Backpressure-aware variants: False means admission was refused
+    # (``config.ab_pending_cap`` local writes still undelivered) -- the
+    # write was NOT replicated; retry after deliveries drain.
+
+    def try_put(self, key: str, value: bytes) -> bool:
+        return self._rsm.try_submit(KvCommand.put(key, value)) is not None
+
+    def try_delete(self, key: str) -> bool:
+        return self._rsm.try_submit(KvCommand.delete(key)) is not None
+
+    def try_cas(self, key: str, expected: bytes | None, value: bytes) -> bool:
+        return self._rsm.try_submit(KvCommand.cas(key, expected, value)) is not None
+
     def on_result(self, callback: Callable[[Command, Any], None]) -> None:
         """Register a callback for results of locally submitted writes."""
         self._rsm.on_result = callback

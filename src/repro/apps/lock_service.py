@@ -83,6 +83,21 @@ class DistributedLockService:
     def release(self, name: str, client_tag: str = "default") -> None:
         self._rsm.submit(Command("release", [name, self.replica_id, client_tag]))
 
+    # Backpressure-aware variants: False means admission was refused
+    # (``config.ab_pending_cap``); the request was NOT replicated.
+
+    def try_acquire(self, name: str, client_tag: str = "default") -> bool:
+        return (
+            self._rsm.try_submit(Command("acquire", [name, self.replica_id, client_tag]))
+            is not None
+        )
+
+    def try_release(self, name: str, client_tag: str = "default") -> bool:
+        return (
+            self._rsm.try_submit(Command("release", [name, self.replica_id, client_tag]))
+            is not None
+        )
+
     # -- local reads ------------------------------------------------------------------
 
     def holder(self, name: str) -> Holder | None:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.atomic_broadcast import AbDelivery, AtomicBroadcast
-from repro.core.errors import WireFormatError
+from repro.core.errors import BackpressureError, WireFormatError
 from repro.core.wire import decode_value, encode_value
 from repro.crypto.hashing import hash_bytes
 
@@ -81,6 +81,9 @@ class ReplicatedStateMachine:
         #: react to state transitions they did not initiate.
         self.on_applied: Callable[[AbDelivery, Command, Any], None] | None = None
         self._malformed = 0
+        #: Local submissions refused by atomic-broadcast backpressure
+        #: (only :meth:`try_submit` counts here; :meth:`submit` raises).
+        self.backpressured = 0
         self._snapshot_cache: bytes | None = None
         self._digest_cache: bytes | None = None
         ab.on_deliver = self._on_delivery
@@ -101,8 +104,24 @@ class ReplicatedStateMachine:
         return self._malformed
 
     def submit(self, command: Command) -> tuple[int, int]:
-        """Replicate *command*; it is applied once totally ordered."""
+        """Replicate *command*; it is applied once totally ordered.
+
+        Raises:
+            BackpressureError: the atomic broadcast's local admission
+                bound (``config.ab_pending_cap``) is full; resubmit
+                after pending deliveries drain (or use
+                :meth:`try_submit`).
+        """
         return self._ab.broadcast(command.encode())
+
+    def try_submit(self, command: Command) -> tuple[int, int] | None:
+        """Like :meth:`submit`, but returns ``None`` instead of raising
+        when admission is refused by backpressure."""
+        try:
+            return self.submit(command)
+        except BackpressureError:
+            self.backpressured += 1
+            return None
 
     def _on_delivery(self, _instance, delivery: AbDelivery) -> None:
         if not isinstance(delivery.payload, bytes):

@@ -23,6 +23,7 @@ from repro.core.binary_consensus import BinaryConsensus
 from repro.core.config import GroupConfig, max_faulty
 from repro.core.echo_broadcast import EchoBroadcast
 from repro.core.errors import (
+    BackpressureError,
     ConfigurationError,
     InstanceDestroyedError,
     ProtocolStallError,
@@ -30,10 +31,12 @@ from repro.core.errors import (
     RitasError,
     WireFormatError,
 )
+from repro.core.ledger import MisbehaviorLedger
 from repro.core.mbuf import Mbuf
 from repro.core.multivalued_consensus import MultiValuedConsensus
 from repro.core.ooc import OocTable
 from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.sendq import BoundedSendQueue
 from repro.core.stack import ControlBlock, ProtocolFactory, Stack
 from repro.core.stats import PURPOSE_AGREEMENT, PURPOSE_APP, PURPOSE_PAYLOAD, StackStats
 from repro.core.vector_consensus import VectorConsensus
@@ -41,13 +44,16 @@ from repro.core.vector_consensus import VectorConsensus
 __all__ = [
     "AbDelivery",
     "AtomicBroadcast",
+    "BackpressureError",
     "BinaryConsensus",
+    "BoundedSendQueue",
     "ConfigurationError",
     "ControlBlock",
     "EchoBroadcast",
     "GroupConfig",
     "InstanceDestroyedError",
     "Mbuf",
+    "MisbehaviorLedger",
     "MultiValuedConsensus",
     "OocTable",
     "ProtocolFactory",

@@ -33,10 +33,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.errors import ProtocolViolationError
+from repro.core.errors import BackpressureError, ProtocolViolationError
 from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
 from repro.core.stats import PURPOSE_AGREEMENT, PURPOSE_PAYLOAD
+from repro.core.trace import KIND_BACKPRESSURE
 from repro.core.wire import Path
 
 #: (sender pid, sender-local broadcast id)
@@ -73,10 +74,13 @@ class AtomicBroadcast(ControlBlock):
         parent: ControlBlock | None = None,
         purpose: str | None = None,
         *,
-        msg_window: int = 65536,
+        msg_window: int | None = None,
         gc_rounds: int | None = None,
     ):
-        """*gc_rounds*: when set, protocol instances belonging to
+        """*msg_window*: per-sender cap on receiver-side AB message
+        instances; defaults to ``config.ab_msg_window``.
+
+        *gc_rounds*: when set, protocol instances belonging to
         agreement rounds more than this many rounds in the past are
         destroyed, bounding memory on long-running sessions.  Keep it
         >= 2 so that stragglers still inside an old round's broadcasts
@@ -85,7 +89,9 @@ class AtomicBroadcast(ControlBlock):
         if gc_rounds is not None and gc_rounds < 2:
             raise ValueError("gc_rounds must be >= 2 (or None)")
         self._next_rbid = 0
-        self._msg_window = msg_window
+        self._msg_window = (
+            msg_window if msg_window is not None else stack.config.ab_msg_window
+        )
         self._gc_rounds = gc_rounds
         #: Set by an external collector (the checkpoint manager in
         #: :mod:`repro.recovery`) before any delivery: payload bookkeeping
@@ -134,7 +140,23 @@ class AtomicBroadcast(ControlBlock):
 
         The message is delivered through :attr:`on_deliver` (in total
         order, at every correct process) -- not returned here.
+
+        Raises:
+            BackpressureError: ``config.ab_pending_cap`` locally
+                submitted messages are still undelivered -- admitting
+                more would only grow queues everywhere.  Resubmit after
+                deliveries drain.
         """
+        cap = self.config.ab_pending_cap
+        if cap and self.pending_local >= cap:
+            self.stack.stats.backpressure_signals += 1
+            if self.stack.tracer.enabled:
+                self.stack.tracer.emit(
+                    self.me, KIND_BACKPRESSURE, self.path, pending=self.pending_local, cap=cap
+                )
+            raise BackpressureError(
+                f"{self.pending_local} local messages undelivered (cap {cap})"
+            )
         rbid = self._next_rbid
         self._next_rbid += 1
         rb = self.make_child(
@@ -146,6 +168,14 @@ class AtomicBroadcast(ControlBlock):
     @property
     def delivered_count(self) -> int:
         return self._delivered_count
+
+    @property
+    def pending_local(self) -> int:
+        """Locally submitted messages not yet delivered back to us --
+        the quantity ``config.ab_pending_cap`` bounds."""
+        delivered = self._frontier.get(self.me, -1) + 1
+        delivered += sum(1 for s, _ in self._frontier_sparse if s == self.me)
+        return self._next_rbid - delivered
 
     @property
     def round(self) -> int:
@@ -402,8 +432,14 @@ class AtomicBroadcast(ControlBlock):
                 and sender in self.config.process_ids
                 and rbid >= 0
                 and not self._is_delivered((sender, rbid))
-                and self._open_msg_instances.get(sender, 0) < self._msg_window
             ):
+                if self._open_msg_instances.get(sender, 0) >= self._msg_window:
+                    # Attribution rule: score only when the flooder is
+                    # speaking for itself -- an honest process echoing a
+                    # corrupt sender's broadcast must never be blamed.
+                    if mbuf.src == sender:
+                        self.stack.report_misbehavior(sender, "msg-window")
+                    return False
                 self._open_msg_instances[sender] = (
                     self._open_msg_instances.get(sender, 0) + 1
                 )

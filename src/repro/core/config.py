@@ -60,6 +60,31 @@ class GroupConfig:
             after which the sender drops the frames queued toward the
             dead peer (bounding memory) and keeps probing at the capped
             rate.  0 never drops.
+        ooc_capacity: total out-of-context messages a stack may park
+            (Section 3.4's bounded hash table).
+        ooc_peer_quota: most OOC entries parked on behalf of any one
+            peer; storing past it evicts that peer's own oldest entry.
+            0 disables the per-peer quota (the global capacity with
+            fair eviction still applies).
+        quarantine_threshold: misbehavior score at which a peer is
+            quarantined (its frames dropped at demultiplex).  0 -- the
+            default -- disables quarantine; scores are still recorded
+            in the stack's :class:`~repro.core.ledger.MisbehaviorLedger`.
+        quarantine_probation_s: seconds a quarantined peer stays muted
+            before probational release (score halved; a persistent
+            offender is re-quarantined almost immediately).
+        ab_pending_cap: most locally submitted atomic-broadcast
+            messages that may be undelivered at once; past it,
+            ``broadcast`` raises
+            :class:`~repro.core.errors.BackpressureError` instead of
+            admitting more.  0 never refuses.
+        ab_msg_window: per-sender cap on open receiver-side AB message
+            instances (dynamic demultiplexing window).
+        send_queue_max_frames: per-peer outbound queue bound in the
+            runtimes (TCP sender queues, simulator link buffers).  Past
+            it the lowest-priority, oldest queued frame is shed --
+            consensus-critical frames outlive payload and bulk
+            transfers.  0 never sheds.
     """
 
     num_processes: int
@@ -75,6 +100,13 @@ class GroupConfig:
     reconnect_max_s: float = 5.0
     reconnect_jitter: float = 0.1
     reconnect_retry_budget: int = 0
+    ooc_capacity: int = 65536
+    ooc_peer_quota: int = 0
+    quarantine_threshold: float = 0.0
+    quarantine_probation_s: float = 5.0
+    ab_pending_cap: int = 0
+    ab_msg_window: int = 65536
+    send_queue_max_frames: int = 0
 
     def __post_init__(self) -> None:
         if self.num_processes < 1:
@@ -110,6 +142,20 @@ class GroupConfig:
             raise ConfigurationError("reconnect_jitter must be >= 0")
         if self.reconnect_retry_budget < 0:
             raise ConfigurationError("reconnect_retry_budget must be >= 0")
+        if self.ooc_capacity < 1:
+            raise ConfigurationError("ooc_capacity must be >= 1")
+        if self.ooc_peer_quota < 0:
+            raise ConfigurationError("ooc_peer_quota must be >= 0")
+        if self.quarantine_threshold < 0.0:
+            raise ConfigurationError("quarantine_threshold must be >= 0")
+        if self.quarantine_probation_s <= 0.0:
+            raise ConfigurationError("quarantine_probation_s must be > 0")
+        if self.ab_pending_cap < 0:
+            raise ConfigurationError("ab_pending_cap must be >= 0")
+        if self.ab_msg_window < 1:
+            raise ConfigurationError("ab_msg_window must be >= 1")
+        if self.send_queue_max_frames < 0:
+            raise ConfigurationError("send_queue_max_frames must be >= 0")
 
     @property
     def n(self) -> int:

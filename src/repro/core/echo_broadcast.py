@@ -183,3 +183,10 @@ class EchoBroadcast(ControlBlock):
             self.delivered = True
             self.delivered_value = self._init_payload
             self.deliver(self.delivered_value)
+        else:
+            # A correct sender's column always carries >= f+1 MACs from
+            # correct vector senders over the INIT it actually sent, so
+            # falling short of the quorum convicts the sender itself --
+            # the column came over its own authenticated link (_on_mat
+            # checks mbuf.src == sender), never an innocent relay.
+            self.stack.report_misbehavior(self.sender, "mac-failure")

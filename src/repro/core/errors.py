@@ -33,6 +33,17 @@ class InstanceDestroyedError(RitasError):
     """An operation was attempted on a destroyed protocol instance."""
 
 
+class BackpressureError(RitasError):
+    """Admission refused: the local pending-work bound is full.
+
+    Raised by :meth:`AtomicBroadcast.broadcast` when
+    ``GroupConfig.ab_pending_cap`` locally submitted messages are still
+    undelivered.  The caller should retry after deliveries drain -- the
+    replicated services expose ``try_*`` variants that translate this
+    into a ``False``/``None`` result instead of an exception.
+    """
+
+
 class ProtocolStallError(RitasError):
     """A protocol exhausted a bound theory says it cannot exhaust.
 

@@ -7,71 +7,197 @@ the instance is created; when an instance is destroyed, its pending OOC
 messages are purged so nothing lingers forever.
 
 The table is bounded (a corrupt process could otherwise exhaust memory
-by flooding frames for instances that will never exist); when full, the
-oldest entry is evicted FIFO.
+by flooding frames for instances that will never exist).  The seed
+implementation evicted globally oldest-first, which let one flooding
+peer push *honest* parked messages out and stall correct instances.
+Eviction is now **per-sender fair**:
+
+- each sender may be held to a quota (``peer_quota``); storing past it
+  evicts that sender's own oldest entry, never anyone else's;
+- when the table is full overall, the victim is the oldest entry of the
+  sender currently holding the *most* entries -- under a flood that is
+  the flooder, so honest parked messages survive.
+
+With one sender (or no contention) this degenerates to the seed's plain
+FIFO.  Eviction victims are reported through :attr:`on_evict` so the
+stack can score the offending peer in its misbehavior ledger.
+
+Prefix operations (``has_prefix``/``drain_prefix``/``purge_prefix``) are
+O(matching) via a prefix index -- every stored path is registered under
+each of its prefixes -- instead of the seed's O(table) linear scans.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
+from typing import Callable
 
 from repro.core.mbuf import Mbuf
 from repro.core.wire import Path
 
 DEFAULT_CAPACITY = 65536
 
+#: Eviction reasons handed to :attr:`OocTable.on_evict`.
+EVICT_QUOTA = "quota"
+EVICT_CAPACITY = "capacity"
+
 
 class OocTable:
-    """Bounded store of messages awaiting their protocol instance."""
+    """Bounded store of messages awaiting their protocol instance.
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    Args:
+        capacity: total entries across all senders.
+        peer_quota: most entries any one sender may hold (0 = no
+            per-sender quota; only the global capacity bounds it).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, peer_quota: int = 0):
         if capacity < 1:
             raise ValueError("OOC table capacity must be positive")
+        if peer_quota < 0:
+            raise ValueError("OOC peer quota must be >= 0")
         self._capacity = capacity
-        # Insertion-ordered so eviction is oldest-first.
-        self._by_path: OrderedDict[Path, list[Mbuf]] = OrderedDict()
+        self._peer_quota = peer_quota
+        self._seq = 0
+        # path -> {seq: mbuf}; dict preserves insertion (FIFO) order and
+        # allows O(1) removal of an arbitrary seq during fair eviction.
+        self._buckets: dict[Path, dict[int, Mbuf]] = {}
+        # Every prefix of every stored path -> the stored paths under it.
+        self._prefix_index: dict[Path, set[Path]] = {}
+        # sender -> seq -> path, insertion-ordered: the sender's own FIFO.
+        self._by_sender: dict[int, OrderedDict[int, Path]] = {}
         self._size = 0
+        self.bytes = 0
+        self.peak_size = 0
+        self.peak_bytes = 0
         self.evictions = 0
+        self.quota_evictions = 0
+        self.evictions_by_src: Counter = Counter()
+        #: Optional hook ``(mbuf, reason)`` called for every eviction.
+        self.on_evict: Callable[[Mbuf, str], None] | None = None
 
     def __len__(self) -> int:
         return self._size
 
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def peer_quota(self) -> int:
+        return self._peer_quota
+
+    def pending_of(self, src: int) -> int:
+        """Entries currently parked on behalf of sender *src*."""
+        return len(self._by_sender.get(src, ()))
+
+    def pending_by_sender(self) -> dict[int, int]:
+        return {src: len(entries) for src, entries in self._by_sender.items() if entries}
+
+    # -- storing / eviction ----------------------------------------------------
+
     def store(self, mbuf: Mbuf) -> None:
         """Park *mbuf* until an instance for its path appears."""
+        src = mbuf.src
+        if self._peer_quota:
+            while self.pending_of(src) >= self._peer_quota:
+                self._evict_from(src, EVICT_QUOTA)
         while self._size >= self._capacity:
-            self._evict_oldest()
-        bucket = self._by_path.get(mbuf.path)
+            self._evict_from(self._fattest_sender(), EVICT_CAPACITY)
+        seq = self._seq
+        self._seq += 1
+        bucket = self._buckets.get(mbuf.path)
         if bucket is None:
-            bucket = []
-            self._by_path[mbuf.path] = bucket
-        bucket.append(mbuf)
+            bucket = {}
+            self._buckets[mbuf.path] = bucket
+            self._index_add(mbuf.path)
+        bucket[seq] = mbuf
+        self._by_sender.setdefault(src, OrderedDict())[seq] = mbuf.path
         self._size += 1
+        self.bytes += mbuf.wire_size
+        if self._size > self.peak_size:
+            self.peak_size = self._size
+        if self.bytes > self.peak_bytes:
+            self.peak_bytes = self.bytes
 
-    def _evict_oldest(self) -> None:
-        path, bucket = next(iter(self._by_path.items()))
-        bucket.pop(0)
-        self._size -= 1
-        self.evictions += 1
+    def _fattest_sender(self) -> int:
+        """The sender holding the most entries; ties go to the one whose
+        oldest entry is oldest (so a full table of equals is plain FIFO)."""
+        best_src = -1
+        best_count = -1
+        best_seq = -1
+        for src, entries in self._by_sender.items():
+            if not entries:
+                continue
+            count = len(entries)
+            oldest = next(iter(entries))
+            if count > best_count or (count == best_count and oldest < best_seq):
+                best_src, best_count, best_seq = src, count, oldest
+        return best_src
+
+    def _evict_from(self, src: int, reason: str) -> None:
+        entries = self._by_sender[src]
+        seq, path = entries.popitem(last=False)
+        if not entries:
+            del self._by_sender[src]
+        bucket = self._buckets[path]
+        mbuf = bucket.pop(seq)
         if not bucket:
-            del self._by_path[path]
+            del self._buckets[path]
+            self._index_remove(path)
+        self._size -= 1
+        self.bytes -= mbuf.wire_size
+        self.evictions += 1
+        if reason == EVICT_QUOTA:
+            self.quota_evictions += 1
+        self.evictions_by_src[src] += 1
+        if self.on_evict is not None:
+            self.on_evict(mbuf, reason)
+
+    # -- prefix index -----------------------------------------------------------
+
+    def _index_add(self, path: Path) -> None:
+        for depth in range(len(path) + 1):
+            self._prefix_index.setdefault(path[:depth], set()).add(path)
+
+    def _index_remove(self, path: Path) -> None:
+        for depth in range(len(path) + 1):
+            prefix = path[:depth]
+            paths = self._prefix_index.get(prefix)
+            if paths is not None:
+                paths.discard(path)
+                if not paths:
+                    del self._prefix_index[prefix]
 
     def has_prefix(self, prefix: Path) -> bool:
         """True if any parked message's path starts with *prefix*."""
-        return any(p[: len(prefix)] == prefix for p in self._by_path)
+        return prefix in self._prefix_index
 
     def drain_prefix(self, prefix: Path) -> list[Mbuf]:
-        """Remove and return all messages whose path starts with *prefix*.
+        """Remove and return all messages whose path starts with *prefix*,
+        in arrival order.
 
         Called when an instance registers: messages addressed to it (or to
         descendants it may create) are re-routed through the stack.
         """
-        matches = [p for p in self._by_path if p[: len(prefix)] == prefix]
-        drained: list[Mbuf] = []
-        for path in matches:
-            bucket = self._by_path.pop(path)
-            drained.extend(bucket)
+        paths = self._prefix_index.get(prefix)
+        if not paths:
+            return []
+        drained: list[tuple[int, Mbuf]] = []
+        for path in list(paths):
+            bucket = self._buckets.pop(path)
+            self._index_remove(path)
+            for seq, mbuf in bucket.items():
+                drained.append((seq, mbuf))
+                entries = self._by_sender.get(mbuf.src)
+                if entries is not None:
+                    entries.pop(seq, None)
+                    if not entries:
+                        del self._by_sender[mbuf.src]
             self._size -= len(bucket)
-        return drained
+            self.bytes -= sum(m.wire_size for m in bucket.values())
+        drained.sort(key=lambda item: item[0])
+        return [mbuf for _, mbuf in drained]
 
     def purge_prefix(self, prefix: Path) -> int:
         """Drop all messages under *prefix*; returns how many were dropped.
@@ -84,4 +210,4 @@ class OocTable:
 
     def pending_paths(self) -> list[Path]:
         """Paths with parked messages (test/diagnostic helper)."""
-        return list(self._by_path)
+        return list(self._buckets)

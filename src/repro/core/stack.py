@@ -31,8 +31,9 @@ from repro.core.errors import (
     ProtocolViolationError,
     WireFormatError,
 )
+from repro.core.ledger import MisbehaviorLedger
 from repro.core.mbuf import Mbuf
-from repro.core.ooc import DEFAULT_CAPACITY, OocTable
+from repro.core.ooc import EVICT_QUOTA, OocTable
 from repro.core.stats import PURPOSE_APP, StackStats
 from repro.core.trace import (
     KIND_CREATE,
@@ -40,6 +41,8 @@ from repro.core.trace import (
     KIND_DESTROY,
     KIND_DROP,
     KIND_OOC,
+    KIND_QUARANTINE,
+    KIND_QUOTA,
     KIND_RECEIVE,
     KIND_SEND,
     NULL_TRACER,
@@ -276,7 +279,8 @@ class Stack:
             coin over a fresh PRNG).
         clock: monotonic time source used only for statistics.
         factory: protocol class registry (default: honest stack).
-        ooc_capacity: bound on parked out-of-context messages.
+        ooc_capacity: bound on parked out-of-context messages; defaults
+            to ``config.ooc_capacity``.
     """
 
     def __init__(
@@ -290,7 +294,7 @@ class Stack:
         clock: Clock | None = None,
         factory: ProtocolFactory | None = None,
         rng: random.Random | None = None,
-        ooc_capacity: int = DEFAULT_CAPACITY,
+        ooc_capacity: int | None = None,
     ):
         if not 0 <= process_id < config.num_processes:
             raise ConfigurationError(
@@ -310,8 +314,16 @@ class Stack:
         self.stats = StackStats()
         #: Structured event recorder; NULL_TRACER by default (no cost).
         self.tracer = NULL_TRACER
+        #: Per-peer misbehavior scores and quarantine state.  The clock
+        #: indirects through the attribute so runtimes that swap
+        #: ``stack.clock`` after construction keep probation timing right.
+        self.ledger = MisbehaviorLedger(config, clock=lambda: self.clock())
         self._registry: dict[Path, ControlBlock] = {}
-        self._ooc = OocTable(ooc_capacity)
+        self._ooc = OocTable(
+            ooc_capacity if ooc_capacity is not None else config.ooc_capacity,
+            peer_quota=config.ooc_peer_quota,
+        )
+        self._ooc.on_evict = self._on_ooc_evict
         # Out-of-context frames drained by a registration are replayed
         # only once the instance tree being built is fully constructed
         # (a subclass __init__ may still be initializing its state).
@@ -385,6 +397,52 @@ class Stack:
         """True if out-of-context messages are parked under *prefix*."""
         return self._ooc.has_prefix(tuple(prefix))
 
+    @property
+    def ooc(self) -> OocTable:
+        """The out-of-context table (read-only diagnostics: peaks,
+        per-sender pending counts, eviction attribution)."""
+        return self._ooc
+
+    # -- flood defense ---------------------------------------------------------------
+
+    def report_misbehavior(self, src: int, offense: str, weight: float | None = None) -> bool:
+        """Score one offense by peer *src* in the misbehavior ledger.
+
+        Only link-authenticated sources may be scored (never identities
+        read out of payloads -- see :mod:`repro.core.ledger`); reports
+        against self or out-of-range ids are ignored.  Returns True if
+        this report moved the peer into quarantine.
+        """
+        if src == self.process_id or not 0 <= src < self.config.num_processes:
+            return False
+        self.stats.misbehavior_reports += 1
+        entered = self.ledger.report(src, offense, weight)
+        if entered:
+            self.stats.quarantine_entries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.process_id,
+                    KIND_QUARANTINE,
+                    (),
+                    src=src,
+                    offense=offense,
+                    score=self.ledger.score(src),
+                )
+        return entered
+
+    def _on_ooc_evict(self, mbuf: Mbuf, reason: str) -> None:
+        """OOC eviction hook: count, trace and -- when the evicted
+        sender exceeds its fair share -- score the offender."""
+        if reason == EVICT_QUOTA:
+            self.stats.ooc_quota_evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.process_id, KIND_QUOTA, mbuf.path, src=mbuf.src, reason=reason
+            )
+        fair_share = max(1, self._ooc.capacity // self.config.num_processes)
+        if reason == EVICT_QUOTA or self._ooc.pending_of(mbuf.src) >= fair_share:
+            self.report_misbehavior(mbuf.src, "ooc-quota")
+
     # -- data plane -----------------------------------------------------------------
 
     def send_frame(self, dest: int, path: Path, mtype: int, payload: Any) -> None:
@@ -439,7 +497,18 @@ class Stack:
 
     def _emit(self, dest: int, data: bytes) -> None:
         if self._coalesce_depth > 0 and self.config.batching:
-            self._pending_frames.setdefault(dest, []).append(data)
+            pending = self._pending_frames.setdefault(dest, [])
+            pending.append(data)
+            # A full window flushes eagerly: the pending path holds at
+            # most batch_max_frames frames per destination, so a long
+            # receive cascade cannot balloon it.  The chunking matches
+            # what window close would produce, so the wire is identical.
+            if len(pending) >= self.config.batch_max_frames:
+                del self._pending_frames[dest]
+                self.stats.record_batch_sent(
+                    len(pending), (len(pending) - 1) * CHANNEL_HEADER_BYTES
+                )
+                self._outbox(dest, encode_batch(pending))
         else:
             self._outbox(dest, data)
 
@@ -468,7 +537,16 @@ class Stack:
         and is decoded defensively.  A malformed batch container is
         dropped whole; a malformed frame inside a well-formed batch
         drops only that frame.
+
+        A quarantined peer's units are dropped here, before any decode
+        or protocol work -- the cheap path is the point of quarantine.
         """
+        if src != self.process_id and self.ledger.quarantined(src):
+            self.stats.frames_quarantine_dropped += 1
+            self.stats.record_drop("quarantined")
+            if self.tracer.enabled:
+                self.tracer.emit(self.process_id, KIND_DROP, (), src=src, reason="quarantined")
+            return
         with self.coalesce():
             self._receive_unit(src, data, 0)
 
@@ -476,11 +554,13 @@ class Stack:
         if is_batch(data):
             if depth >= MAX_BATCH_DEPTH:
                 self.stats.record_drop("batch-too-deep")
+                self.report_misbehavior(src, "batch-too-deep")
                 return
             try:
                 frames = decode_batch(data)
             except WireFormatError:
                 self.stats.record_drop("malformed-batch")
+                self.report_misbehavior(src, "malformed-batch")
                 if self.tracer.enabled:
                     self.tracer.emit(
                         self.process_id, KIND_DROP, (), src=src, reason="malformed-batch"
@@ -495,6 +575,7 @@ class Stack:
             path, mtype, payload = decode_frame(data)
         except WireFormatError:
             self.stats.record_drop("malformed-frame")
+            self.report_misbehavior(src, "malformed-frame")
             if self.tracer.enabled:
                 self.tracer.emit(self.process_id, KIND_DROP, (), src=src, reason="malformed")
             return
@@ -529,6 +610,7 @@ class Stack:
                 created = ancestor.accept_orphan(mbuf)
             except ProtocolViolationError:
                 self.stats.record_drop("protocol-violation")
+                self.report_misbehavior(mbuf.src, "protocol-violation")
                 return
             if created:
                 instance = self._registry.get(mbuf.path)
@@ -547,6 +629,7 @@ class Stack:
             instance.input(mbuf)
         except ProtocolViolationError:
             self.stats.record_drop("protocol-violation")
+            self.report_misbehavior(mbuf.src, "protocol-violation")
 
     # -- randomness -------------------------------------------------------------------
 

@@ -53,6 +53,13 @@ class StackStats:
     ooc_drained: int = 0
     ooc_evicted: int = 0
     ooc_purged: int = 0
+    # Flood defense (misbehavior ledger, quarantine, quotas, shedding).
+    ooc_quota_evictions: int = 0
+    misbehavior_reports: int = 0
+    quarantine_entries: int = 0
+    frames_quarantine_dropped: int = 0
+    sends_shed: int = 0
+    backpressure_signals: int = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -126,6 +133,12 @@ class StackStats:
         self.ooc_drained += other.ooc_drained
         self.ooc_evicted += other.ooc_evicted
         self.ooc_purged += other.ooc_purged
+        self.ooc_quota_evictions += other.ooc_quota_evictions
+        self.misbehavior_reports += other.misbehavior_reports
+        self.quarantine_entries += other.quarantine_entries
+        self.frames_quarantine_dropped += other.frames_quarantine_dropped
+        self.sends_shed += other.sends_shed
+        self.backpressure_signals += other.backpressure_signals
 
 
 @dataclass

@@ -38,6 +38,10 @@ KIND_DROP = "drop"
 KIND_OOC = "ooc"
 KIND_CREATE = "create"
 KIND_DESTROY = "destroy"
+KIND_QUOTA = "quota"
+KIND_QUARANTINE = "quarantine"
+KIND_SHED = "shed"
+KIND_BACKPRESSURE = "backpressure"
 
 
 @dataclass(frozen=True, slots=True)

@@ -313,3 +313,80 @@ def decode_batch(data: bytes) -> list[bytes]:
     if offset != len(data):
         raise WireFormatError("trailing bytes after batch")
     return frames
+
+
+# -- priority classification ---------------------------------------------------
+#
+# When an outbound queue must shed (GroupConfig.send_queue_max_frames),
+# not all frames are equal: losing an agreement-layer vote can stall the
+# whole group for a round, while a shed payload retransmission or bulk
+# state-transfer chunk only costs the sender a retry.  Classification
+# reads just enough of the frame header to find the path -- the payload
+# is never decoded.
+
+#: Bulk transfers (checkpoint / state transfer) and anything malformed.
+PRIORITY_BULK = 0
+#: Application payload dissemination (AB_MSG broadcasts) -- the default.
+PRIORITY_PAYLOAD = 1
+#: Agreement-layer frames: consensus votes and the broadcasts under them.
+PRIORITY_AGREEMENT = 2
+
+#: Path components that mark an agreement subtree: atomic broadcast's
+#: per-round vector consensus ("vect") and the consensus protocols
+#: themselves (multi-valued, binary, vector).
+_AGREEMENT_COMPONENTS = frozenset({"vect", "mvc", "bc", "vc"})
+
+#: Path heads that mark bulk transfers: the checkpoint / state-transfer
+#: protocol mounts at ("rec",) by convention ("ckpt" kept for custom
+#: mount points named after the protocol kind).
+_BULK_HEADS = frozenset({"rec", "ckpt"})
+
+
+def peek_path(data: bytes) -> Path | None:
+    """Extract a plain frame's path without decoding its payload.
+
+    Returns ``None`` for batches, malformed frames, or anything else
+    that is not a well-formed single frame header -- callers use this
+    for best-effort classification, never for protocol decisions.
+    """
+    if len(data) < 6 or data[0] != FRAME_VERSION or data[1] != _T_LIST:
+        return None
+    (count,) = struct.unpack_from(">I", data, 2)
+    if count != 3:
+        return None
+    try:
+        raw_path, _ = _decode_from(data, 6, 1)
+    except WireFormatError:
+        return None
+    if not isinstance(raw_path, list):
+        return None
+    path: list[PathComponent] = []
+    for component in raw_path:
+        if not isinstance(component, (int, str)) or isinstance(component, bool):
+            return None
+        path.append(component)
+    return tuple(path)
+
+
+def frame_priority(data: bytes, _depth: int = 0) -> int:
+    """Shedding priority of one channel unit (higher survives longer).
+
+    Batches take the highest priority of their members, so coalescing
+    never demotes an agreement vote riding with payload frames.
+    """
+    if is_batch(data):
+        if _depth >= MAX_BATCH_DEPTH:
+            return PRIORITY_BULK
+        try:
+            members = decode_batch(data)
+        except WireFormatError:
+            return PRIORITY_BULK
+        return max(frame_priority(member, _depth + 1) for member in members)
+    path = peek_path(data)
+    if path is None:
+        return PRIORITY_BULK
+    if path and path[0] in _BULK_HEADS:
+        return PRIORITY_BULK
+    if any(component in _AGREEMENT_COMPONENTS for component in path):
+        return PRIORITY_AGREEMENT
+    return PRIORITY_PAYLOAD

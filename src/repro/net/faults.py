@@ -79,9 +79,27 @@ class FaultPlan:
 
     @classmethod
     def with_byzantine(
-        cls, process_id: int, transform: FactoryTransform
+        cls, process_id: int, transform: "FactoryTransform | str"
     ) -> "FaultPlan":
-        """One permanently disruptive process running *transform*'d protocols."""
+        """One permanently disruptive process running *transform*'d protocols.
+
+        *transform* may be a factory transform, or the name of a
+        registered strategy (see :data:`repro.adversary.STRATEGIES`,
+        e.g. ``"paper"``, ``"ooc-flood"``, ``"duplicate-storm"``,
+        ``"bad-mac"``).
+        """
+        if isinstance(transform, str):
+            # Imported here: repro.adversary imports the protocol modules,
+            # which import repro.core.stack, which this module feeds.
+            from repro.adversary import STRATEGIES
+
+            try:
+                transform = STRATEGIES[transform]
+            except KeyError:
+                known = ", ".join(sorted(STRATEGIES))
+                raise ValueError(
+                    f"unknown Byzantine strategy {transform!r} (known: {known})"
+                ) from None
         return cls(byzantine={process_id: transform})
 
     def validate(self, num_processes: int, max_faulty: int) -> None:

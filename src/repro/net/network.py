@@ -37,7 +37,9 @@ import random
 from dataclasses import dataclass, replace
 
 from repro.core.config import GroupConfig
+from repro.core.sendq import BoundedSendQueue
 from repro.core.stack import ProtocolFactory, Stack
+from repro.core.trace import KIND_SHED
 from repro.core.wire import encode_batch, is_batch
 from repro.crypto.coin import SharedCoinDealer
 from repro.crypto.keys import TrustedDealer
@@ -154,11 +156,15 @@ class LanSimulation:
         self.batches_on_wire = 0
         self.link_batches = 0
         self.link_frames_coalesced = 0
+        self.link_frames_shed = 0
+        self.link_bytes_shed = 0
+        self.peak_link_queue_frames = 0
         # Per-link send buffers for frame coalescing: frames handed to a
         # link while the sender's CPU is still busy wait here and leave
         # merged, mirroring the TCP sender task draining its queue into
-        # one batch per write.
-        self._link_pending: dict[tuple[int, int], list[bytes]] = {}
+        # one batch per write.  Bounded by config.send_queue_max_frames
+        # with priority-aware shedding (0 = unbounded, seed behaviour).
+        self._link_pending: dict[tuple[int, int], BoundedSendQueue] = {}
 
         self._dealer = TrustedDealer(config.num_processes, seed=str(seed).encode())
         self._coin_dealer = (
@@ -252,11 +258,13 @@ class LanSimulation:
             # in one batch -- the discrete-event analogue of the TCP
             # sender task draining its queue into a single write.
             key = (src, dest)
-            pending = self._link_pending.get(key)
-            if pending is not None:
-                pending.append(data)
+            queue = self._link_pending.get(key)
+            if queue is not None:
+                self._push_link(src, dest, queue, data)
                 return
-            self._link_pending[key] = [data]
+            queue = BoundedSendQueue(self.config.send_queue_max_frames)
+            self._link_pending[key] = queue
+            self._push_link(src, dest, queue, data)
             # The flush waits for the sender CPU to drain its queued
             # work, plus any configured linger (Nagle-style: trade a
             # bounded delay for fuller batches).
@@ -267,8 +275,25 @@ class LanSimulation:
             return
         self._transmit_unit(src, dest, data)
 
+    def _push_link(
+        self, src: int, dest: int, queue: BoundedSendQueue, data: bytes
+    ) -> None:
+        shed = queue.push(data)
+        if shed:
+            self.link_frames_shed += len(shed)
+            self.link_bytes_shed += sum(len(f) for f in shed)
+            stack = self.stacks[src]
+            stack.stats.sends_shed += len(shed)
+            if stack.tracer.enabled:
+                stack.tracer.emit(
+                    src, KIND_SHED, (), dest=dest, frames=len(shed), queued=len(queue)
+                )
+        if len(queue) > self.peak_link_queue_frames:
+            self.peak_link_queue_frames = len(queue)
+
     def _flush_link(self, src: int, dest: int) -> None:
-        frames = self._link_pending.pop((src, dest), None)
+        queue = self._link_pending.pop((src, dest), None)
+        frames = queue.drain() if queue is not None else None
         if not frames:
             return
         if self.fault_plan.is_crashed(src, self.loop.now):

@@ -20,7 +20,9 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.config import GroupConfig
+from repro.core.sendq import BoundedSendQueue
 from repro.core.stack import ProtocolFactory, Stack
+from repro.core.trace import KIND_SHED
 from repro.core.wire import encode_batch
 from repro.crypto.keys import KeyStore
 from repro.transport.framing import MAC_LEN, FrameCodec, FramingError, peek_src
@@ -29,6 +31,56 @@ logger = logging.getLogger(__name__)
 
 _LEN = struct.Struct(">I")
 _MAX_BODY = 64 * 1024 * 1024
+
+
+class _SendChannel:
+    """One peer's outbound queue: a :class:`BoundedSendQueue` plus an
+    asyncio wakeup for the sender task.
+
+    Replaces the seed's unbounded ``asyncio.Queue`` so a slow or dead
+    peer cannot grow this process's memory without bound; shedding is
+    priority-aware and never reorders the surviving frames.
+    """
+
+    def __init__(self, max_frames: int = 0):
+        self.queue = BoundedSendQueue(max_frames)
+        self._event = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    @property
+    def bytes(self) -> int:
+        return self.queue.bytes
+
+    def empty(self) -> bool:
+        return not self.queue
+
+    def put(self, data: bytes) -> list[bytes]:
+        """Enqueue; returns whatever the bound forced out."""
+        shed = self.queue.push(data)
+        if self.queue:
+            self._event.set()
+        return shed
+
+    def get_nowait(self) -> bytes | None:
+        data = self.queue.pop()
+        if not self.queue:
+            self._event.clear()
+        return data
+
+    async def get(self) -> bytes:
+        while True:
+            data = self.get_nowait()
+            if data is not None:
+                return data
+            await self._event.wait()
+
+    def clear(self) -> tuple[int, int]:
+        """Drop everything queued; returns ``(frames, bytes)`` released."""
+        released = self.queue.clear()
+        self._event.clear()
+        return released
 
 
 @dataclass(frozen=True)
@@ -87,10 +139,13 @@ class RitasNode:
         self._server: asyncio.base_events.Server | None = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._send_codecs: dict[int, FrameCodec] = {}
-        self._send_queues: dict[int, asyncio.Queue[bytes]] = {}
+        self._send_queues: dict[int, _SendChannel] = {}
         self._tasks: list[asyncio.Task] = []
         self._closed = False
         self.frames_rejected = 0
+        #: Frames dropped by the per-peer send-queue bound
+        #: (``config.send_queue_max_frames``), dead-peer sheds included.
+        self.frames_shed = 0
         #: Outbound channel units merged into batch containers by the
         #: sender tasks (on top of any coalescing the stack already did).
         self.batches_sent = 0
@@ -144,9 +199,9 @@ class RitasNode:
             self._send_codecs[pid] = FrameCodec(
                 self.keystore.key_for(pid), self.process_id
             )
-            queue: asyncio.Queue[bytes] = asyncio.Queue()
-            self._send_queues[pid] = queue
-            self._tasks.append(asyncio.create_task(self._sender(pid, queue)))
+            channel = _SendChannel(self.config.send_queue_max_frames)
+            self._send_queues[pid] = channel
+            self._tasks.append(asyncio.create_task(self._sender(pid, channel)))
 
     async def start(self) -> None:
         """Listen, then connect to every peer (retrying until they are up)."""
@@ -209,19 +264,33 @@ class RitasNode:
                 self.stack.receive, self.process_id, data
             )
             return
-        self._send_queues[dest].put_nowait(data)
+        shed = self._send_queues[dest].put(data)
+        if shed:
+            self.frames_shed += len(shed)
+            self.stack.stats.sends_shed += len(shed)
+            if self.stack.tracer.enabled:
+                self.stack.tracer.emit(
+                    self.process_id, KIND_SHED, (), dest=dest, frames=len(shed)
+                )
 
-    def _drain_batch(self, first: bytes, queue: asyncio.Queue[bytes]) -> bytes:
+    def send_queue_depth(self, pid: int) -> tuple[int, int]:
+        """Current ``(frames, bytes)`` queued toward peer *pid*."""
+        channel = self._send_queues.get(pid)
+        if channel is None:
+            return (0, 0)
+        return (len(channel), channel.bytes)
+
+    def _drain_batch(self, first: bytes, channel: "_SendChannel") -> bytes:
         """Opportunistically merge queued same-peer frames into one batch
         container, so the link pays one length header and one HMAC for
         the lot.  Only what is already queued is taken -- no waiting."""
         config = self.config
         chunk = [first]
         while len(chunk) < config.batch_max_frames:
-            try:
-                chunk.append(queue.get_nowait())
-            except asyncio.QueueEmpty:
+            data = channel.get_nowait()
+            if data is None:
                 break
+            chunk.append(data)
         if len(chunk) == 1:
             return first
         self.batches_sent += 1
@@ -242,7 +311,7 @@ class RitasNode:
             self.reconnect_delays.append(delay)
         return delay
 
-    async def _sender(self, pid: int, queue: asyncio.Queue[bytes]) -> None:
+    async def _sender(self, pid: int, channel: "_SendChannel") -> None:
         """Own the outbound connection to *pid*: (re)connect and drain."""
         codec = self._send_codecs[pid]
         writer: asyncio.StreamWriter | None = None
@@ -266,18 +335,20 @@ class RitasNode:
                             # down: shed its queue so memory stays
                             # bounded while probing continues at the
                             # capped rate.
-                            while not queue.empty():
-                                queue.get_nowait()
-                                self.frames_dropped_reconnect += 1
+                            dropped, _ = channel.clear()
+                            if dropped:
+                                self.frames_dropped_reconnect += dropped
+                                self.frames_shed += dropped
+                                self.stack.stats.sends_shed += dropped
                         await asyncio.sleep(self._reconnect_delay(failures))
                         continue
-                data = await queue.get()
+                data = await channel.get()
                 if self.config.batching:
-                    if self.config.batch_window_s > 0 and queue.empty():
+                    if self.config.batch_window_s > 0 and channel.empty():
                         # Flush window: linger briefly so a burst midway
                         # through generation can still join this batch.
                         await asyncio.sleep(self.config.batch_window_s)
-                    data = self._drain_batch(data, queue)
+                    data = self._drain_batch(data, channel)
                 try:
                     writer.write(codec.encode(data))
                     await writer.drain()
@@ -297,6 +368,7 @@ class RitasNode:
     ) -> None:
         codec: FrameCodec | None = None
         peer = "?"
+        peer_pid: int | None = None
         try:
             while not self._closed:
                 header = await reader.readexactly(_LEN.size)
@@ -311,6 +383,11 @@ class RitasNode:
                     codec = FrameCodec(self.keystore.key_for(src), src)
                     peer = f"p{src}"
                 src, payload = codec.decode(body)
+                # Only a link that has produced at least one valid MAC
+                # is attributable: anyone can *claim* a pid in its first
+                # body, and scoring on that claim would let an outsider
+                # slander group members.
+                peer_pid = src
                 self.stack.receive(src, payload)
         except asyncio.CancelledError:
             pass
@@ -318,6 +395,12 @@ class RitasNode:
             logger.debug("p%d: inbound link from %s closed", self.process_id, peer)
         except FramingError as exc:
             self.frames_rejected += 1
+            if peer_pid is not None:
+                # The link authenticated itself as peer_pid with its
+                # first valid MAC, so a later framing/MAC failure is
+                # chargeable -- either that peer corrupted the stream or
+                # it let someone else hijack its session.
+                self.stack.report_misbehavior(peer_pid, "mac-failure")
             logger.warning(
                 "p%d: rejecting inbound link from %s: %s", self.process_id, peer, exc
             )

@@ -6,6 +6,7 @@ injects raw frames -- random paths, random mtypes, random payloads,
 including structurally valid ones aimed at real instance paths.
 """
 
+import os
 import random
 
 import pytest
@@ -45,8 +46,10 @@ def inject(net, frames):
                 pass  # unencodable fuzz value; irrelevant to receivers
 
 
+# CI's flood-stress job raises the example budget via the environment;
+# local runs keep the fast default.
 COMMON = dict(
-    max_examples=30,
+    max_examples=int(os.environ.get("RITAS_FUZZ_EXAMPLES", "30")),
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )

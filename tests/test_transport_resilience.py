@@ -219,6 +219,43 @@ class TestReconnectBackoff:
 
         asyncio.run(scenario())
 
+    def test_dead_peer_shed_releases_queue_memory(self):
+        """The budget shed must actually release the queued frames: the
+        per-peer send queue reads empty (0 frames, 0 bytes) afterwards
+        and the shed is visible in the node and stack counters."""
+        config = GroupConfig(
+            4,
+            reconnect_base_s=0.01,
+            reconnect_max_s=0.02,
+            reconnect_jitter=0.0,
+            reconnect_retry_budget=1,
+        )
+        dealer = TrustedDealer(4, seed=b"shed")
+
+        async def scenario():
+            addresses = [PeerAddress("127.0.0.1", 0)] + [
+                PeerAddress("127.0.0.1", reserve_port()) for _ in range(3)
+            ]
+            node = RitasNode(config, 0, addresses, dealer.keystore_for(0))
+            await node.listen()
+            await node.connect()
+            try:
+                for _ in range(8):
+                    node.stack.send_frame(1, ("t",), 0, b"payload")
+                assert node.send_queue_depth(1)[0] > 0  # parked toward p1
+                for _ in range(300):
+                    if node.frames_dropped_reconnect >= 8:
+                        break
+                    await asyncio.sleep(0.01)
+                assert node.frames_dropped_reconnect >= 8
+                assert node.send_queue_depth(1) == (0, 0)
+                assert node.frames_shed >= 8
+                assert node.stack.stats.sends_shed >= 8
+            finally:
+                await node.close()
+
+        asyncio.run(scenario())
+
     def test_ticker_fires_until_close(self, group4):
         config, dealer = group4
 
