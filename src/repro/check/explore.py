@@ -1,0 +1,222 @@
+"""Seed-driven schedule exploration, shrinking and replay.
+
+A run is **fully determined** by its parameters: the master ``seed``
+(per-process RNGs, coins, keys), the ``tie_break_seed`` (ordering of
+same-time simulator events), ``jitter_s`` (per-message latency noise)
+and the op list.  Recording the schedule therefore means recording
+those parameters -- the reproducer JSON *is* the schedule, and replay
+is simply re-running it.
+
+:func:`explore` sweeps a budget of parameter combinations over one
+scenario; on the first :class:`InvariantViolation` it calls
+:func:`shrink`, which greedily drops ops (keeping the violation alive)
+and then truncates the run to the violating event, and returns a
+reproducer dict (format ``repro.check/v1``).  :func:`replay` re-executes
+a reproducer and reports whether the violation still fires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.check.invariants import InvariantChecker, InvariantViolation
+from repro.check.scenarios import SCENARIOS, Op, Scenario
+
+REPRODUCER_FORMAT = "repro.check/v1"
+
+#: Latency-noise settings cycled through during exploration: the
+#: symmetric LAN, sub-switch-latency noise and switch-scale noise reach
+#: meaningfully different interleaving families.
+JITTER_CHOICES = (0.0, 1e-4, 1e-3)
+
+
+def _resolve(scenario: "Scenario | str") -> Scenario:
+    if isinstance(scenario, str):
+        try:
+            return SCENARIOS[scenario]
+        except KeyError:
+            known = ", ".join(sorted(SCENARIOS))
+            raise ValueError(f"unknown scenario {scenario!r} (known: {known})") from None
+    return scenario
+
+
+def run_one(
+    scenario: "Scenario | str",
+    *,
+    seed: int,
+    tie_break_seed: int | None,
+    jitter_s: float = 0.0,
+    ops: list[Op] | None = None,
+    max_events: int | None = None,
+    deep_check_interval: int = 512,
+) -> dict[str, Any]:
+    """Execute one fully-parameterized run under the invariant checker.
+
+    Returns a result dict: ``outcome`` is ``"ok"`` or ``"violation"``
+    (with the violation's invariant/path/detail/event_index),
+    ``events`` is the simulator event count, ``stop`` the loop's stop
+    reason.
+    """
+    scenario = _resolve(scenario)
+    if ops is None:
+        ops = scenario.ops
+    sim = scenario.build(seed, tie_break_seed, jitter_s)
+    checker = InvariantChecker(sim, deep_check_interval=deep_check_interval)
+    try:
+        scenario.apply_ops(sim, ops)
+        stop = sim.run(max_time=scenario.max_time, max_events=max_events)
+        # Final sweep regardless of why the run stopped: a truncated
+        # replay must still surface a violation first caught by the
+        # end-of-run sweep rather than mid-event.
+        checker.check_all()
+    except InvariantViolation as violation:
+        return {
+            "outcome": "violation",
+            "invariant": violation.invariant,
+            "path": list(violation.path),
+            "detail": violation.detail,
+            "event_index": (
+                violation.event_index
+                if violation.event_index >= 0
+                else sim.loop.events_processed
+            ),
+            "events": sim.loop.events_processed,
+        }
+    return {"outcome": "ok", "events": sim.loop.events_processed, "stop": stop}
+
+
+def shrink(
+    scenario: "Scenario | str",
+    *,
+    seed: int,
+    tie_break_seed: int | None,
+    jitter_s: float,
+    ops: list[Op],
+    invariant: str,
+) -> dict[str, Any]:
+    """Minimize a violating run: greedily drop ops while the *same*
+    invariant keeps failing, then truncate to the violating event.
+
+    Returns the reproducer dict (see :data:`REPRODUCER_FORMAT`).
+    """
+    scenario = _resolve(scenario)
+
+    def still_fails(candidate: list[Op]) -> dict[str, Any] | None:
+        result = run_one(
+            scenario,
+            seed=seed,
+            tie_break_seed=tie_break_seed,
+            jitter_s=jitter_s,
+            ops=candidate,
+        )
+        if result["outcome"] == "violation" and result["invariant"] == invariant:
+            return result
+        return None
+
+    current = list(ops)
+    result = still_fails(current)
+    if result is None:
+        # The violation depends on exactly the original ops; fall back
+        # to reproducing it unshrunk.
+        result = run_one(
+            scenario, seed=seed, tie_break_seed=tie_break_seed, jitter_s=jitter_s, ops=current
+        )
+    else:
+        progress = True
+        while progress:
+            progress = False
+            for index in range(len(current) - 1, -1, -1):
+                candidate = current[:index] + current[index + 1 :]
+                if not candidate:
+                    continue
+                trimmed = still_fails(candidate)
+                if trimmed is not None:
+                    current = candidate
+                    result = trimmed
+                    progress = True
+    return {
+        "format": REPRODUCER_FORMAT,
+        "scenario": scenario.name,
+        "seed": seed,
+        "tie_break_seed": tie_break_seed,
+        "jitter_s": jitter_s,
+        "ops": current,
+        "max_events": result.get("event_index"),
+        "violation": {
+            "invariant": result.get("invariant"),
+            "path": result.get("path"),
+            "detail": result.get("detail"),
+            "event_index": result.get("event_index"),
+        },
+    }
+
+
+def explore(
+    scenario: "Scenario | str",
+    budget: int,
+    *,
+    base_seed: int = 0,
+    jitter_choices: tuple[float, ...] = JITTER_CHOICES,
+    progress: Any = None,
+) -> dict[str, Any] | None:
+    """Sweep *budget* parameter combinations over *scenario*.
+
+    Seeds run ``base_seed .. base_seed + budget - 1``; each run pairs
+    its seed with a distinct tie-break seed and cycles through
+    *jitter_choices*.  Returns ``None`` when every run is clean, or the
+    shrunken reproducer of the first violation.
+    """
+    scenario = _resolve(scenario)
+    for index in range(budget):
+        seed = base_seed + index
+        tie_break_seed = base_seed + index
+        jitter_s = jitter_choices[index % len(jitter_choices)] if jitter_choices else 0.0
+        result = run_one(
+            scenario, seed=seed, tie_break_seed=tie_break_seed, jitter_s=jitter_s
+        )
+        if progress is not None:
+            progress(index, seed, result)
+        if result["outcome"] == "violation":
+            return shrink(
+                scenario,
+                seed=seed,
+                tie_break_seed=tie_break_seed,
+                jitter_s=jitter_s,
+                ops=scenario.ops,
+                invariant=result["invariant"],
+            )
+    return None
+
+
+def replay(reproducer: dict[str, Any]) -> dict[str, Any]:
+    """Re-execute a reproducer; returns the fresh :func:`run_one` result.
+
+    Determinism guarantee: the same reproducer yields the same result
+    dict every time (same violation at the same event index, or the
+    same clean run if the underlying bug was fixed).
+    """
+    if reproducer.get("format") != REPRODUCER_FORMAT:
+        raise ValueError(
+            f"unsupported reproducer format {reproducer.get('format')!r} "
+            f"(expected {REPRODUCER_FORMAT!r})"
+        )
+    return run_one(
+        reproducer["scenario"],
+        seed=reproducer["seed"],
+        tie_break_seed=reproducer["tie_break_seed"],
+        jitter_s=reproducer["jitter_s"],
+        ops=[list(op) for op in reproducer["ops"]],
+        max_events=reproducer.get("max_events"),
+    )
+
+
+def load_reproducer(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dump_reproducer(reproducer: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(reproducer, handle, indent=2, sort_keys=True)
+        handle.write("\n")

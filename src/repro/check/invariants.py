@@ -1,0 +1,319 @@
+"""Runtime protocol-invariant checking over a running simulation.
+
+The checker hangs off two hooks the core exposes:
+
+- :attr:`Stack.observer` -- called with the delivering control block on
+  every :meth:`ControlBlock.deliver`, marking that instance path
+  *dirty*;
+- :attr:`EventLoop.on_event` -- called after every processed simulator
+  event; the checker then re-examines only the dirty paths, comparing
+  :meth:`ControlBlock.inspect` snapshots across *correct* processes.
+
+Checked invariants, per protocol layer:
+
+===========  ==================================================================
+rb / eb      no conflicting deliveries: every correct process that delivered
+             a same-path broadcast delivered the same value (by digest)
+bc           agreement (one decision value per instance) and validity (a
+             unanimous correct proposal is the only decidable value)
+mvc          agreement on the decision key; a non-⊥ decision was proposed
+             by some correct process
+vc           agreement on the decided vector; a correct process's slot
+             holds its proposal or ⊥
+ab           the totally-ordered delivery logs of correct processes are
+             prefixes of one another
+ooc          per-stack conservation: stored == pending + drained + purged
+             + evicted (every stack, Byzantine included -- the table is
+             honest machinery even under a corrupt protocol suite), plus
+             a full :meth:`OocTable.check_consistency` sweep every
+             ``deep_check_interval`` events
+===========  ==================================================================
+
+Violations raise :class:`InvariantViolation` from inside the event
+loop, aborting the run at the exact event that broke the property --
+which is what lets the explorer (:mod:`repro.check.explore`) record a
+minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.stack import ControlBlock, Stack
+from repro.core.wire import Path
+from repro.net.network import LanSimulation
+
+
+class InvariantViolation(AssertionError):
+    """A cross-process protocol property failed.
+
+    Attributes:
+        invariant: short name of the violated property
+            (``"rb-agreement"``, ``"bc-validity"``, ``"ab-order"``, ...).
+        path: instance path involved (``()`` for stack-level checks).
+        event_index: how many simulator events had been processed when
+            the violation surfaced (the replayable position).
+    """
+
+    def __init__(self, invariant: str, path: Path, detail: str, event_index: int = -1):
+        super().__init__(f"[{invariant}] at {path!r}: {detail}")
+        self.invariant = invariant
+        self.path = path
+        self.detail = detail
+        self.event_index = event_index
+
+
+class InvariantChecker:
+    """Asserts cross-process protocol invariants after every event.
+
+    Attach to a simulation **before** creating protocol instances (the
+    atomic-broadcast order log is sized at instance construction)::
+
+        sim = LanSimulation(n=4, seed=7)
+        checker = InvariantChecker(sim)
+        ... create instances, propose ...
+        sim.run(...)          # raises InvariantViolation on breakage
+        checker.check_all()   # final full sweep
+
+    Args:
+        sim: the simulation to watch.
+        deep_check_interval: run the O(entries) out-of-context table
+            consistency sweep every this many events (0 disables it).
+    """
+
+    def __init__(self, sim: LanSimulation, deep_check_interval: int = 512):
+        self.sim = sim
+        self.deep_check_interval = deep_check_interval
+        self.checks_run = 0
+        self.correct = set(sim.correct_ids())
+        self._dirty: set[Path] = set()
+        for pid, stack in enumerate(sim.stacks):
+            self._instrument(pid, stack)
+        sim.loop.on_event = self._on_event
+        # A restarted process gets a fresh stack; re-instrument it (the
+        # restart also cleared its crash entry, making it correct again).
+        previous_hook = sim.on_stack_rebuilt
+
+        def rebuilt(pid: int, stack: Stack) -> None:
+            if previous_hook is not None:
+                previous_hook(pid, stack)
+            self.correct = set(self.sim.correct_ids())
+            self._instrument(pid, stack)
+
+        sim.on_stack_rebuilt = rebuilt
+
+    def _instrument(self, pid: int, stack: Stack) -> None:
+        stack.record_delivery_order = True
+        if pid in self.correct:
+            stack.observer = self._observe
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def _observe(self, block: ControlBlock) -> None:
+        # A delivery mutates not just the delivering block but every
+        # ancestor that consumes it via child_event -- mark the whole
+        # chain dirty so e.g. binary consensus's step bookkeeping is
+        # rechecked when one of its round broadcasts completes.
+        node: ControlBlock | None = block
+        while node is not None:
+            self._dirty.add(node.path)
+            node = node.parent
+
+    def _on_event(self) -> None:
+        self.checks_run += 1
+        event_index = self.sim.loop.events_processed
+        try:
+            for stack in self.sim.stacks:
+                stack.check_ooc_accounting()
+            if (
+                self.deep_check_interval
+                and self.checks_run % self.deep_check_interval == 0
+            ):
+                for stack in self.sim.stacks:
+                    stack.ooc.check_consistency()
+        except AssertionError as exc:
+            if isinstance(exc, InvariantViolation):
+                raise
+            raise InvariantViolation(
+                "ooc-accounting", (), str(exc), event_index
+            ) from None
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, set()
+        for path in dirty:
+            self._check_path(path, event_index)
+
+    # -- sweeps --------------------------------------------------------------------
+
+    def check_all(self) -> None:
+        """Full sweep over every live instance path on correct stacks.
+
+        Call after a run quiesces; catches divergence on paths whose
+        last delivery predates a later-created peer instance.
+        """
+        event_index = self.sim.loop.events_processed
+        paths: set[Path] = set()
+        for pid in self.correct:
+            paths.update(self.sim.stacks[pid].instances())
+        for path in paths:
+            self._check_path(path, event_index)
+        for stack in self.sim.stacks:
+            try:
+                stack.check_ooc_accounting()
+                stack.ooc.check_consistency()
+            except AssertionError as exc:
+                if isinstance(exc, InvariantViolation):
+                    raise
+                raise InvariantViolation(
+                    "ooc-accounting", (), str(exc), event_index
+                ) from None
+
+    def _check_path(self, path: Path, event_index: int) -> None:
+        views: dict[int, dict[str, Any]] = {}
+        protocol = None
+        for pid in self.correct:
+            instance = self.sim.stacks[pid].instance_at(path)
+            if instance is None:
+                continue
+            views[pid] = instance.inspect()
+            protocol = views[pid]["protocol"]
+        if len(views) < 2:
+            return
+        checker = getattr(self, f"_check_{protocol}", None)
+        if checker is not None:
+            checker(path, views, event_index)
+
+    # -- per-protocol invariants ----------------------------------------------------
+
+    def _fail(self, invariant: str, path: Path, detail: str, event_index: int) -> None:
+        raise InvariantViolation(invariant, path, detail, event_index)
+
+    def _agree_on(
+        self,
+        key: str,
+        invariant: str,
+        path: Path,
+        views: dict[int, dict[str, Any]],
+        event_index: int,
+    ) -> None:
+        """All views carrying *key* must carry the same value."""
+        seen: dict[int, Any] = {
+            pid: view[key] for pid, view in views.items() if key in view
+        }
+        if len(set(map(repr, seen.values()))) > 1:
+            self._fail(
+                invariant,
+                path,
+                f"correct processes disagree on {key}: "
+                + ", ".join(f"p{pid}={value!r}" for pid, value in sorted(seen.items())),
+                event_index,
+            )
+
+    def _check_rb(self, path, views, event_index) -> None:
+        self._agree_on("value_digest", "rb-agreement", path, views, event_index)
+
+    def _check_eb(self, path, views, event_index) -> None:
+        self._agree_on("value_digest", "eb-agreement", path, views, event_index)
+
+    def _check_bc(self, path, views, event_index) -> None:
+        decisions = {
+            pid: v["decision"] for pid, v in views.items() if v.get("decided")
+        }
+        if len(set(decisions.values())) > 1:
+            self._fail(
+                "bc-agreement",
+                path,
+                f"conflicting decisions: "
+                + ", ".join(f"p{pid}={d}" for pid, d in sorted(decisions.items())),
+                event_index,
+            )
+        # Step-3 uniqueness: the strict-majority (> n/2) bar over step-2
+        # values guarantees no two correct processes ever enter step 3 of
+        # the same round with different non-⊥ values -- the lemma the
+        # whole safety argument rests on.  Weakening the bar (e.g. to
+        # (n-f)/2) breaks exactly this, well before decisions conflict.
+        step3: dict[int, dict[int, int]] = {}
+        for pid, view in views.items():
+            for (round_number, step), value in view.get("step_values", {}).items():
+                if step == 3 and value is not None:
+                    step3.setdefault(round_number, {})[pid] = value
+        for round_number, values in sorted(step3.items()):
+            if len(set(values.values())) > 1:
+                self._fail(
+                    "bc-step3-uniqueness",
+                    path,
+                    f"round {round_number}: correct processes entered step 3 "
+                    "with different values: "
+                    + ", ".join(f"p{pid}={v}" for pid, v in sorted(values.items())),
+                    event_index,
+                )
+        proposals = {
+            pid: v["proposal"] for pid, v in views.items() if v["proposal"] is not None
+        }
+        if decisions and len(proposals) == len(views) and len(set(proposals.values())) == 1:
+            unanimous = next(iter(proposals.values()))
+            wrong = {pid: d for pid, d in decisions.items() if d != unanimous}
+            if wrong:
+                self._fail(
+                    "bc-validity",
+                    path,
+                    f"all correct proposed {unanimous} but "
+                    + ", ".join(f"p{pid} decided {d}" for pid, d in sorted(wrong.items())),
+                    event_index,
+                )
+
+    def _check_mvc(self, path, views, event_index) -> None:
+        self._agree_on("decision_key", "mvc-agreement", path, views, event_index)
+        proposal_keys = {v["proposal_key"] for v in views.values() if v.get("proposed")}
+        for pid, view in views.items():
+            key = view.get("decision_key")
+            if key is not None and len(proposal_keys) == len(views):
+                # Every correct process has proposed, so a non-⊥ decision
+                # must match one of their proposals (n - 2f >= f + 1
+                # matching INITs force at least one correct proposer).
+                if key not in proposal_keys:
+                    self._fail(
+                        "mvc-validity",
+                        path,
+                        f"p{pid} decided a value no correct process proposed",
+                        event_index,
+                    )
+
+    def _check_vc(self, path, views, event_index) -> None:
+        self._agree_on("decision_key", "vc-agreement", path, views, event_index)
+        for pid, view in views.items():
+            decision = view.get("decision")
+            if decision is None:
+                continue
+            for other, other_view in views.items():
+                if not other_view.get("proposed"):
+                    continue
+                slot = decision[other] if other < len(decision) else None
+                if slot is not None and slot != other_view["proposal"]:
+                    self._fail(
+                        "vc-validity",
+                        path,
+                        f"p{pid}'s decided vector holds {slot!r} in correct "
+                        f"p{other}'s slot, which proposed {other_view['proposal']!r}",
+                        event_index,
+                    )
+
+    def _check_ab(self, path, views, event_index) -> None:
+        logs = {
+            pid: view["order_log"] for pid, view in views.items() if "order_log" in view
+        }
+        pids = sorted(logs)
+        for a, b in zip(pids, pids[1:]):
+            log_a, log_b = logs[a], logs[b]
+            shorter = min(len(log_a), len(log_b))
+            if log_a[:shorter] != log_b[:shorter]:
+                diverge = next(
+                    i for i in range(shorter) if log_a[i] != log_b[i]
+                )
+                self._fail(
+                    "ab-order",
+                    path,
+                    f"delivery order of p{a} and p{b} diverges at position "
+                    f"{diverge}: {log_a[diverge]!r} vs {log_b[diverge]!r}",
+                    event_index,
+                )

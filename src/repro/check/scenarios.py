@@ -1,0 +1,160 @@
+"""Named workloads for the schedule explorer.
+
+A :class:`Scenario` bundles a group size, a fault plan and a list of
+**ops** -- the JSON-serializable workload the explorer can shrink.  One
+op is one application action::
+
+    ["bc",  instance, pid, bit]        # pid proposes bit on ("bc", instance)
+    ["mvc", instance, pid, "value"]    # pid proposes value (utf-8 bytes)
+    ["vc",  instance, pid, "value"]    # pid proposes its vector slot
+    ["ab",  instance, pid, "payload"]  # pid atomically broadcasts payload
+
+Instances are created lazily on *every* stack at first mention (the
+fault plan's factory transforms make the Byzantine process's instances
+adversarial, exactly like the evaluation tests), then ops execute in
+list order at virtual time zero.  Removing any op still yields a legal
+run -- the shrinker relies on that.
+
+The registry covers the paper's faultloads (failure-free, fail-stop,
+the Section 4.2 Byzantine process) plus every other registered
+strategy, and ``byz-bc-split``: an n=6 group under the always-zero
+attack with a 3/2 split among the five correct proposals.  n=6 is the
+smallest group where weakening binary consensus's step-2 strict
+majority bar from ``n/2`` to ``(n-f)/2`` opens a real agreement hole
+(two disjoint 3-subsets of the 5 correct step-2 values can then both
+look like "majorities"), making it the regression scenario for that
+deliberately reintroducible bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import GroupConfig
+from repro.net.faults import FaultPlan
+from repro.net.network import LanSimulation
+
+Op = list  # ["kind", instance, pid, value]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named exploration workload."""
+
+    name: str
+    n: int
+    description: str
+    ops: list[Op]
+    byzantine: dict[int, str] = field(default_factory=dict)
+    crashed: dict[int, float] = field(default_factory=dict)
+    config_kwargs: dict[str, Any] = field(default_factory=dict)
+    max_time: float = 120.0
+
+    def fault_plan(self) -> FaultPlan:
+        plan = FaultPlan(crashed=dict(self.crashed))
+        for pid, strategy in self.byzantine.items():
+            plan.byzantine[pid] = FaultPlan.with_byzantine(pid, strategy).byzantine[pid]
+        return plan
+
+    def config(self) -> GroupConfig:
+        return GroupConfig(self.n, **self.config_kwargs)
+
+    def build(
+        self, seed: int, tie_break_seed: int | None, jitter_s: float
+    ) -> LanSimulation:
+        return LanSimulation(
+            config=self.config(),
+            seed=seed,
+            fault_plan=self.fault_plan(),
+            jitter_s=jitter_s,
+            tie_break_seed=tie_break_seed,
+        )
+
+    def apply_ops(self, sim: LanSimulation, ops: list[Op]) -> None:
+        """Create the instances ops mention, then execute the ops."""
+        for kind, instance, _pid, _value in ops:
+            path = (kind, instance)
+            for stack in sim.stacks:
+                if stack.instance_at(path) is None:
+                    stack.create(kind, path)
+        for kind, instance, pid, value in ops:
+            target = sim.stacks[pid].instance_at((kind, instance))
+            if kind == "bc":
+                target.propose(value)
+            elif kind in ("mvc", "vc"):
+                target.propose(value.encode() if isinstance(value, str) else value)
+            elif kind == "ab":
+                target.broadcast(value.encode() if isinstance(value, str) else value)
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+
+
+def _bc_ops(instance: str, proposals: dict[int, int]) -> list[Op]:
+    return [["bc", instance, pid, bit] for pid, bit in sorted(proposals.items())]
+
+
+def _ab_burst(instance: str, pids: list[int], count: int) -> list[Op]:
+    return [
+        ["ab", instance, pid, f"{pid}:{index}"] for pid in pids for index in range(count)
+    ]
+
+
+def _byz_scenario(strategy: str, n: int = 4, **kwargs: Any) -> Scenario:
+    attacker = n - 1
+    correct = list(range(n - 1))
+    ops = _ab_burst("a", correct, 2) + _bc_ops(
+        "v", {pid: pid % 2 for pid in range(n)}
+    )
+    return Scenario(
+        name=f"byz-{strategy}",
+        n=n,
+        description=f"one process runs the {strategy!r} strategy under an "
+        "AB burst and a mixed-proposal binary consensus",
+        ops=ops,
+        byzantine={attacker: strategy},
+        **kwargs,
+    )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in [
+        Scenario(
+            name="failure-free",
+            n=4,
+            description="no faults: AB burst plus mixed binary and "
+            "multi-valued consensus instances",
+            ops=_ab_burst("a", [0, 1, 2, 3], 2)
+            + _bc_ops("v", {0: 1, 1: 0, 2: 1, 3: 0})
+            + [["mvc", "m", pid, "cfg"] for pid in range(4)],
+        ),
+        Scenario(
+            name="crash",
+            n=4,
+            description="the paper's fail-stop faultload: one process "
+            "crashes shortly after the burst starts",
+            ops=_ab_burst("a", [0, 1, 3], 2) + _bc_ops("v", {0: 1, 1: 1, 3: 0}),
+            crashed={2: 0.010},
+        ),
+        _byz_scenario("paper"),
+        _byz_scenario("noise"),
+        _byz_scenario("crash-consensus"),
+        _byz_scenario(
+            "ooc-flood",
+            config_kwargs={"ooc_capacity": 256, "ooc_peer_quota": 64},
+            max_time=300.0,
+        ),
+        _byz_scenario("duplicate-storm"),
+        _byz_scenario("bad-mac"),
+        Scenario(
+            name="byz-bc-split",
+            n=6,
+            description="n=6 under the always-zero attack with a 3/2 "
+            "split among correct proposals -- the smallest group where "
+            "the (n-f)/2 strict-majority bug becomes schedule-reachable",
+            ops=_bc_ops("v", {0: 1, 1: 1, 2: 1, 3: 0, 4: 0, 5: 0}),
+            byzantine={5: "paper"},
+        ),
+    ]
+}

@@ -38,7 +38,8 @@ from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
 from repro.core.stats import PURPOSE_AGREEMENT, PURPOSE_PAYLOAD
 from repro.core.trace import KIND_BACKPRESSURE
-from repro.core.wire import Path
+from repro.core.wire import Path, encode_value_cached
+from repro.crypto.hashing import hash_bytes
 
 #: (sender pid, sender-local broadcast id)
 MsgId = tuple[int, int]
@@ -131,6 +132,13 @@ class AtomicBroadcast(ControlBlock):
         self.agreements_empty = 0
         self.fast_forwards = 0
         self.payloads_injected = 0
+        #: Per-delivery order log ``(sender, rbid, payload digest)``,
+        #: kept only when the stack opts in (the invariant checker
+        #: compares prefixes across processes); ``None`` otherwise so
+        #: ordinary runs pay nothing.
+        self.order_log: list[tuple[int, int, bytes]] | None = (
+            [] if stack.record_delivery_order else None
+        )
         self._ensure_vect_instances(0)
 
     # -- public API -----------------------------------------------------------------
@@ -168,6 +176,16 @@ class AtomicBroadcast(ControlBlock):
     @property
     def delivered_count(self) -> int:
         return self._delivered_count
+
+    # -- introspection --------------------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        state = super().inspect()
+        state["delivered_count"] = self._delivered_count
+        state["round"] = self._round
+        if self.order_log is not None:
+            state["order_log"] = self.order_log
+        return state
 
     @property
     def pending_local(self) -> int:
@@ -610,6 +628,10 @@ class AtomicBroadcast(ControlBlock):
                 sequence=self._delivered_count,
             )
             self._delivered_count += 1
+            if self.order_log is not None:
+                self.order_log.append(
+                    (msg_id[0], msg_id[1], hash_bytes(encode_value_cached(payload)))
+                )
             self.deliver(delivery)
 
     def _collect(self, horizon: int) -> None:

@@ -54,7 +54,7 @@ def majority_value(counts: Counter) -> int:
     return 1 if counts[1] > counts[0] else 0
 
 
-def strict_majority_value(counts: Counter, n: int) -> int | None:
+def strict_majority_value(counts: Counter, n: int, bar: int | None = None) -> int | None:
     """Step-2 rule: the value held by more than half of *all n* processes'
     step-2 broadcasts, or ``None`` (⊥) when neither bit clears that bar.
 
@@ -64,7 +64,8 @@ def strict_majority_value(counts: Counter, n: int) -> int | None:
     majorities of different ``(n-f)``-subsets can.  Step-3 uniqueness is
     what the decide/adopt thresholds' safety rests on.
     """
-    bar = n // 2 + 1
+    if bar is None:
+        bar = n // 2 + 1
     if counts[1] >= bar:
         return 1
     if counts[0] >= bar:
@@ -108,6 +109,10 @@ class BinaryConsensus(ControlBlock):
         self.decision_round: int | None = None
         self.rounds_executed = 0
         self._rounds: dict[int, _RoundState] = {}
+        # (round, step) -> value this process broadcast; the invariant
+        # checker reads it to assert step-3 uniqueness across correct
+        # processes (the lemma the strict-majority bar exists for).
+        self._sent_values: dict[tuple[int, int], int | None] = {}
         self._halted = False
         # After deciding, participation in the (single) extra round is
         # armed but only triggered by a process that still needs it.
@@ -134,6 +139,17 @@ class BinaryConsensus(ControlBlock):
         push 0.
         """
         return computed
+
+    # -- introspection ---------------------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        state = super().inspect()
+        state["proposal"] = self.proposal
+        state["decided"] = self.decided
+        state["decision"] = self.decision
+        state["decision_round"] = self.decision_round
+        state["step_values"] = dict(self._sent_values)
+        return state
 
     # -- round machinery ---------------------------------------------------------------
 
@@ -162,6 +178,7 @@ class BinaryConsensus(ControlBlock):
         if step in state.broadcast_sent:
             return
         state.broadcast_sent.add(step)
+        self._sent_values[(round_number, step)] = value
         rb = self.children.get(self.path + (round_number, step, self.me))
         if rb is None or rb.destroyed:
             return
@@ -242,6 +259,15 @@ class BinaryConsensus(ControlBlock):
                     if self._halted:
                         return
 
+    def _strict_majority_bar(self) -> int:
+        """The step-2/step-3 strict-majority bar (``n/2 + 1`` over all n).
+
+        A method so tests can deliberately weaken it (e.g. to the unsafe
+        ``(n-f)/2 + 1``) and check the invariant layer catches the
+        resulting agreement violations.
+        """
+        return self.config.n // 2 + 1
+
     # -- validation (the congruence rule) ---------------------------------------------------
 
     def _is_valid(self, round_number: int, step: int, value: Any) -> bool:
@@ -278,7 +304,7 @@ class BinaryConsensus(ControlBlock):
             return counts[0] >= quorum - half  # ceil(quorum / 2)
         # step == 3: strict majority of *n* (see strict_majority_value), or
         # ⊥ when some n-f subset of step-2 values has no such majority.
-        bar = self.config.n // 2 + 1
+        bar = self._strict_majority_bar()
         if value is None:
             return min(counts[0], bar - 1) + min(counts[1], bar - 1) >= quorum
         return total >= quorum and counts[value] >= bar
@@ -303,7 +329,9 @@ class BinaryConsensus(ControlBlock):
             self._broadcast_step(round_number, 2, value, state)
         elif step == 2:
             value = self._step_value(
-                round_number, 3, strict_majority_value(counts, self.config.n)
+                round_number,
+                3,
+                strict_majority_value(counts, self.config.n, self._strict_majority_bar()),
             )
             self._broadcast_step(round_number, 3, value, state)
         else:

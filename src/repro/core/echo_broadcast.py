@@ -30,7 +30,7 @@ from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
 from repro.core.trace import KIND_BROADCAST
 from repro.core.wire import Path, encode_value_cached
-from repro.crypto.hashing import HASH_LEN
+from repro.crypto.hashing import HASH_LEN, hash_bytes
 from repro.crypto.mac import mac, mac_vector
 
 MSG_INIT = 0
@@ -83,6 +83,16 @@ class EchoBroadcast(ControlBlock):
                 self.me, KIND_BROADCAST, self.path, protocol=self.protocol
             )
         self.send_all(MSG_INIT, payload)
+
+    # -- introspection ---------------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        state = super().inspect()
+        state["sender"] = self.sender
+        state["delivered"] = self.delivered
+        if self.delivered:
+            state["value_digest"] = hash_bytes(encode_value_cached(self.delivered_value))
+        return state
 
     # -- receiving -------------------------------------------------------------
 

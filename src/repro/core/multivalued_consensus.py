@@ -100,6 +100,18 @@ class MultiValuedConsensus(ControlBlock):
         rb = self.children[self.path + ("init", self.me)]
         rb.broadcast(self._init_value(value))  # type: ignore[attr-defined]
 
+    # -- introspection -------------------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        state = super().inspect()
+        state["proposed"] = self.proposed
+        state["decided"] = self.decided
+        if self.proposed:
+            state["proposal_key"] = _key(self.proposal)
+        if self.decided:
+            state["decision_key"] = None if self.decision is None else _key(self.decision)
+        return state
+
     # -- adversary hooks -----------------------------------------------------------
 
     def _init_value(self, computed: Any) -> Any:

@@ -211,3 +211,70 @@ class OocTable:
     def pending_paths(self) -> list[Path]:
         """Paths with parked messages (test/diagnostic helper)."""
         return list(self._buckets)
+
+    # -- self-validation ---------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert every internal index agrees with the buckets.
+
+        Checks that the size and byte counters match the stored entries,
+        that the per-sender FIFOs reference exactly the stored messages,
+        and that the prefix index holds precisely the live paths under
+        each of their prefixes (no stale entries pointing at evicted
+        messages, no empty buckets).  O(entries x path depth) -- meant
+        for the invariant checker and tests, not per-message hot paths.
+        Raises :class:`AssertionError` describing the first divergence.
+        """
+        size = 0
+        total_bytes = 0
+        seqs: set[int] = set()
+        for path, bucket in self._buckets.items():
+            if not bucket:
+                raise AssertionError(f"empty OOC bucket left behind at {path!r}")
+            size += len(bucket)
+            total_bytes += sum(m.wire_size for m in bucket.values())
+            seqs.update(bucket)
+        if size != self._size:
+            raise AssertionError(f"OOC size counter {self._size} != stored {size}")
+        if total_bytes != self.bytes:
+            raise AssertionError(f"OOC byte counter {self.bytes} != stored {total_bytes}")
+        sender_seqs: set[int] = set()
+        for src, entries in self._by_sender.items():
+            if not entries:
+                raise AssertionError(f"empty per-sender FIFO left behind for src {src}")
+            for seq, path in entries.items():
+                bucket = self._buckets.get(path)
+                if bucket is None or seq not in bucket:
+                    raise AssertionError(
+                        f"per-sender FIFO of src {src} references missing entry "
+                        f"seq={seq} path={path!r}"
+                    )
+                if bucket[seq].src != src:
+                    raise AssertionError(
+                        f"entry seq={seq} filed under src {src} but sent by "
+                        f"{bucket[seq].src}"
+                    )
+            sender_seqs.update(entries)
+        if sender_seqs != seqs:
+            raise AssertionError(
+                f"per-sender FIFOs track {len(sender_seqs)} entries, "
+                f"buckets hold {len(seqs)}"
+            )
+        expected_index: dict[Path, set[Path]] = {}
+        for path in self._buckets:
+            for depth in range(len(path) + 1):
+                expected_index.setdefault(path[:depth], set()).add(path)
+        if expected_index != self._prefix_index:
+            stale = {
+                prefix: paths - expected_index.get(prefix, set())
+                for prefix, paths in self._prefix_index.items()
+                if paths - expected_index.get(prefix, set())
+            }
+            missing = {
+                prefix: paths - self._prefix_index.get(prefix, set())
+                for prefix, paths in expected_index.items()
+                if paths - self._prefix_index.get(prefix, set())
+            }
+            raise AssertionError(
+                f"OOC prefix index diverged: stale={stale!r} missing={missing!r}"
+            )

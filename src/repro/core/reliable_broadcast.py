@@ -82,6 +82,18 @@ class ReliableBroadcast(ControlBlock):
             )
         self.send_all(MSG_INIT, payload)
 
+    # -- introspection -----------------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        state = super().inspect()
+        state["sender"] = self.sender
+        state["delivered"] = self.delivered
+        if self.delivered:
+            # A digest, not the value: cheap to compare across processes
+            # and hashable regardless of the payload's shape.
+            state["value_digest"] = self._digest_of(self.delivered_value)
+        return state
+
     # -- receiving ----------------------------------------------------------------
 
     def input(self, mbuf: Mbuf) -> None:

@@ -185,6 +185,19 @@ class ControlBlock:
         """Handle a frame addressed to this instance."""
         raise NotImplementedError
 
+    def inspect(self) -> dict[str, Any]:
+        """Read-only snapshot of this instance's externally checkable state.
+
+        The protocol-invariant checker (:mod:`repro.check`) compares
+        these snapshots *across processes*: same-path instances on
+        different correct processes must never disagree on what they
+        delivered or decided.  Subclasses extend the dict with their
+        protocol's observable state; values must be cheap to produce
+        (no copies of large structures) and wire-encodable where they
+        are compared across processes.
+        """
+        return {"protocol": self.protocol, "destroyed": self._destroyed}
+
     def accept_orphan(self, mbuf: Mbuf) -> bool:
         """Offer a frame addressed *below* this instance with no handler.
 
@@ -207,6 +220,9 @@ class ControlBlock:
             self.stack.tracer.emit(
                 self.stack.process_id, KIND_DELIVER, self.path, protocol=self.protocol
             )
+        observer = self.stack.observer
+        if observer is not None:
+            observer(self)
         if self.on_deliver is not None:
             self.on_deliver(self, event)
         elif self.parent is not None:
@@ -314,6 +330,15 @@ class Stack:
         self.stats = StackStats()
         #: Structured event recorder; NULL_TRACER by default (no cost).
         self.tracer = NULL_TRACER
+        #: Optional callable invoked with the delivering control block on
+        #: every :meth:`ControlBlock.deliver`; the invariant checker uses
+        #: it to dirty-track which instance paths need re-checking.
+        self.observer: Callable[[ControlBlock], None] | None = None
+        #: When True, atomic-broadcast instances created on this stack
+        #: keep a full per-delivery order log for cross-process
+        #: prefix-agreement checking (memory grows with history -- meant
+        #: for bounded checker/explorer runs, not production sessions).
+        self.record_delivery_order = False
         #: Per-peer misbehavior scores and quarantine state.  The clock
         #: indirects through the attribute so runtimes that swap
         #: ``stack.clock`` after construction keep probation timing right.
@@ -388,6 +413,35 @@ class Stack:
     @property
     def live_instances(self) -> int:
         return len(self._registry)
+
+    def instances(self) -> dict[Path, ControlBlock]:
+        """Snapshot of the live instance registry (path -> control block).
+
+        Diagnostic / checker API: the returned dict is a copy; mutating
+        it does not affect the stack.
+        """
+        return dict(self._registry)
+
+    def check_ooc_accounting(self) -> None:
+        """Assert the out-of-context conservation law.
+
+        Every message ever parked must be accounted for exactly once:
+        ``stored == pending + drained (replayed) + purged (instance
+        destroyed) + evicted``.  Raises :class:`AssertionError` with the
+        full balance on violation; the invariant layer calls this after
+        every simulator event.
+        """
+        stored = self.stats.ooc_stored
+        pending = len(self._ooc)
+        drained = self.stats.ooc_drained
+        purged = self.stats.ooc_purged
+        evicted = self._ooc.evictions
+        if stored != pending + drained + purged + evicted:
+            raise AssertionError(
+                f"p{self.process_id} OOC conservation broken: stored={stored} != "
+                f"pending={pending} + drained={drained} + purged={purged} "
+                f"+ evicted={evicted}"
+            )
 
     @property
     def ooc_pending(self) -> int:

@@ -84,11 +84,34 @@ class Tracer:
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._kinds = kinds
         self.emitted = 0
+        #: Incarnation of the stack this tracer is attached to; stamped
+        #: into every event's detail once nonzero, so post-restart events
+        #: are distinguishable from the first life's.
+        self.incarnation = 0
+
+    def rebind(
+        self,
+        clock: Callable[[], float] | None = None,
+        incarnation: int | None = None,
+    ) -> None:
+        """Re-attach this tracer to a new runtime context.
+
+        A tracer created before a process restart keeps the dead
+        incarnation's clock closure; the runtime calls this from
+        ``restart_process`` so post-restart events carry the right
+        simulated time and incarnation number.
+        """
+        if clock is not None:
+            self._clock = clock
+        if incarnation is not None:
+            self.incarnation = incarnation
 
     def emit(self, process: int, kind: str, path: Path, **detail: Any) -> None:
         if self._kinds is not None and kind not in self._kinds:
             return
         self.emitted += 1
+        if self.incarnation:
+            detail["incarnation"] = self.incarnation
         self._events.append(
             TraceEvent(
                 time=self._clock(),
@@ -134,6 +157,13 @@ class _NullTracer:
     """Tracing disabled: emit is a no-op (the stack default)."""
 
     enabled = False
+
+    def rebind(
+        self,
+        clock: Callable[[], float] | None = None,
+        incarnation: int | None = None,
+    ) -> None:
+        pass
 
     def emit(self, process: int, kind: str, path: Path, **detail: Any) -> None:
         pass

@@ -28,7 +28,7 @@ from typing import Any
 from repro.core.errors import ProtocolStallError, ProtocolViolationError
 from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
-from repro.core.wire import Path
+from repro.core.wire import Path, encode_value
 
 
 class VectorConsensus(ControlBlock):
@@ -45,6 +45,7 @@ class VectorConsensus(ControlBlock):
     ):
         super().__init__(stack, path, parent, purpose)
         self.proposed = False
+        self.proposal: Any = None
         self.decided = False
         self.decision: list[Any] | None = None
         self.round_number = 0
@@ -62,8 +63,22 @@ class VectorConsensus(ControlBlock):
         if self.proposed:
             raise ProtocolViolationError("already proposed on this instance")
         self.proposed = True
+        self.proposal = value
         rb = self.children[self.path + ("init", self.me)]
         rb.broadcast(value)  # type: ignore[attr-defined]
+
+    # -- introspection ---------------------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        state = super().inspect()
+        state["proposed"] = self.proposed
+        state["decided"] = self.decided
+        if self.proposed:
+            state["proposal"] = self.proposal
+        if self.decided:
+            state["decision_key"] = encode_value(self.decision)
+            state["decision"] = self.decision
+        return state
 
     # -- receiving ------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.core.config import GroupConfig
 from repro.core.sendq import BoundedSendQueue
@@ -44,7 +45,7 @@ from repro.core.wire import encode_batch, is_batch
 from repro.crypto.coin import SharedCoinDealer
 from repro.crypto.keys import TrustedDealer
 from repro.net.faults import FaultPlan
-from repro.net.simulator import EventLoop
+from repro.net.simulator import EventLoop, PeriodicHandle
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,11 @@ class LanSimulation:
         jitter_s: uniform random extra latency added per message --
             zero keeps the LAN perfectly symmetric like the paper's
             testbed; a WAN-style run sets this high.
+        tie_break_seed: when given, same-time simulator events execute
+            in an order drawn from an RNG seeded on this value instead
+            of insertion order (still deterministic per seed); the
+            schedule explorer in :mod:`repro.check` sweeps this to
+            reach interleavings a fixed order never produces.
     """
 
     def __init__(
@@ -134,6 +140,7 @@ class LanSimulation:
         seed: int = 0,
         fault_plan: FaultPlan | None = None,
         jitter_s: float = 0.0,
+        tie_break_seed: int | None = None,
         base_factory: ProtocolFactory | None = None,
         shared_coin: bool = False,
     ):
@@ -148,7 +155,14 @@ class LanSimulation:
         self.fault_plan = fault_plan or FaultPlan.failure_free()
         self.fault_plan.validate(config.num_processes, config.num_faulty)
         self.jitter_s = jitter_s
-        self.loop = EventLoop()
+        self.tie_break_seed = tie_break_seed
+        self.loop = EventLoop(
+            tie_break_rng=(
+                random.Random(f"{seed}/tie/{tie_break_seed}")
+                if tie_break_seed is not None
+                else None
+            )
+        )
         self._jitter_rng = random.Random(f"{seed}/jitter")
         self.frames_delivered = 0
         self.frames_dropped_crash = 0
@@ -177,6 +191,14 @@ class LanSimulation:
         # earlier incarnation are dropped on arrival (the restart killed
         # the TCP connections they were riding on).
         self._generation = [0] * config.num_processes
+        # Periodic callbacks registered per process (see add_ticker);
+        # cancelled when their process restarts so they can never fire
+        # against a dead incarnation's stack.
+        self._tickers: dict[int, list[PeriodicHandle]] = {}
+        #: Optional callable invoked with ``(pid, new_stack)`` after
+        #: :meth:`restart_process` rebuilds a stack; the invariant
+        #: checker uses it to re-attach its observers.
+        self.on_stack_rebuilt: Callable[[int, Stack], None] | None = None
         self.hosts = [_Host() for _ in config.process_ids]
         self.stacks: list[Stack] = []
         for pid in config.process_ids:
@@ -200,23 +222,64 @@ class LanSimulation:
             coin=self._coin_dealer.coin_for(pid) if self._coin_dealer else None,
         )
 
+    def add_ticker(
+        self, pid: int, period_s: float, fn: Callable[[], None]
+    ) -> PeriodicHandle:
+        """Run ``fn()`` every *period_s* simulated seconds on behalf of
+        process *pid* -- the simulator analogue of
+        :meth:`repro.transport.tcp.RitasNode.add_ticker`.
+
+        The ticker is bound to *pid*'s current incarnation: it cancels
+        itself the moment the process crashes or restarts, so a poll
+        callback (e.g. a recovery manager's ``poke``) can never fire
+        against a dead incarnation's stack.  Prefer this over raw
+        ``loop.schedule_every`` for anything holding a stack reference.
+        """
+        generation = self._generation[pid]
+
+        def tick() -> None:
+            if self._generation[pid] != generation or self.fault_plan.is_crashed(
+                pid, self.loop.now
+            ):
+                handle.cancel()
+                return
+            fn()
+
+        handle = self.loop.schedule_every(period_s, tick)
+        self._tickers.setdefault(pid, []).append(handle)
+        return handle
+
     def restart_process(self, pid: int) -> Stack:
         """Restart process *pid* with a brand-new (empty) stack.
 
         Models a machine reboot: the previous incarnation's protocol
         state is gone, frames still in flight to or from it are dropped
-        (its connections died), and any crash entry in the fault plan is
-        cleared so the new incarnation sends and receives again.  The
-        caller re-creates application instances on the returned stack
-        and typically attaches a :class:`~repro.recovery.RecoveryManager`
-        with ``recovering=True`` to rejoin the group.
+        (its connections died), tickers registered for it via
+        :meth:`add_ticker` are cancelled, and any crash entry in the
+        fault plan is cleared so the new incarnation sends and receives
+        again.  A tracer attached to the old stack is carried over,
+        rebound to the simulation clock and stamped with the new
+        incarnation number.  The caller re-creates application instances
+        on the returned stack and typically attaches a
+        :class:`~repro.recovery.RecoveryManager` with
+        ``recovering=True`` to rejoin the group.
         """
         self._generation[pid] += 1
         self.fault_plan.revive(pid)
+        for handle in self._tickers.pop(pid, []):
+            handle.cancel()
         for key in [k for k in self._link_pending if pid in k]:
             del self._link_pending[key]
-        self.stacks[pid] = self._build_stack(pid)
-        return self.stacks[pid]
+        old_stack = self.stacks[pid]
+        stack = self._build_stack(pid)
+        self.stacks[pid] = stack
+        if old_stack.tracer.enabled:
+            tracer = old_stack.tracer
+            tracer.rebind(clock=lambda: self.loop.now, incarnation=self._generation[pid])
+            stack.tracer = tracer
+        if self.on_stack_rebuilt is not None:
+            self.on_stack_rebuilt(pid, stack)
+        return stack
 
     # -- wire model -----------------------------------------------------------------
 

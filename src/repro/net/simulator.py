@@ -1,26 +1,47 @@
 """A minimal deterministic discrete-event loop.
 
-Events are ``(time, sequence, callback)`` triples in a binary heap; the
-sequence number makes execution order total and therefore reproducible
-run-to-run for a fixed seed, which the whole evaluation pipeline relies
-on.
+Events are ``(time, tie_break, sequence, callback)`` tuples in a binary
+heap; the sequence number makes execution order total and therefore
+reproducible run-to-run for a fixed seed, which the whole evaluation
+pipeline relies on.
+
+The *tie_break* component is 0.0 by default, so same-time events run in
+scheduling order.  Passing a seeded ``tie_break_rng`` replaces it with a
+random draw per event: same-time events then execute in a shuffled --
+but still fully deterministic, given the seed -- order.  The schedule
+explorer (:mod:`repro.check`) uses this to drive the protocols through
+interleavings a fixed insertion order would never produce, exactly the
+adversarial-scheduler territory where randomized consensus bugs hide.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from random import Random
 from typing import Any, Callable
+
+_Event = tuple[float, float, int, Callable[..., None], tuple[Any, ...]]
 
 
 class EventLoop:
-    """Deterministic event loop with virtual time in seconds."""
+    """Deterministic event loop with virtual time in seconds.
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+    Args:
+        tie_break_rng: when given, same-time events execute in an order
+            drawn from this RNG instead of insertion order.  Execution
+            stays deterministic for a fixed RNG seed.
+    """
+
+    def __init__(self, tie_break_rng: Random | None = None) -> None:
+        self._heap: list[_Event] = []
         self._sequence = 0
         self._now = 0.0
+        self._tie_rng = tie_break_rng
         self.events_processed = 0
+        #: Optional callable invoked (with no arguments) after every
+        #: processed event; the invariant checker hangs off this.
+        self.on_event: Callable[[], None] | None = None
 
     @property
     def now(self) -> float:
@@ -40,7 +61,8 @@ class EventLoop:
         """Run ``fn(*args)`` at absolute virtual *time* (>= now)."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
-        heapq.heappush(self._heap, (time, self._sequence, fn, args))
+        tie_break = self._tie_rng.random() if self._tie_rng is not None else 0.0
+        heapq.heappush(self._heap, (time, tie_break, self._sequence, fn, args))
         self._sequence += 1
 
     def schedule_every(
@@ -86,7 +108,7 @@ class EventLoop:
         while self._heap:
             if max_events is not None and processed >= max_events:
                 return "max_events"
-            time, _, fn, args = self._heap[0]
+            time, _, _, fn, args = self._heap[0]
             if time > max_time:
                 return "max_time"
             heapq.heappop(self._heap)
@@ -94,6 +116,8 @@ class EventLoop:
             fn(*args)
             processed += 1
             self.events_processed += 1
+            if self.on_event is not None:
+                self.on_event()
             if until is not None and until():
                 return "until"
         return "idle"

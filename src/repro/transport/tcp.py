@@ -107,6 +107,11 @@ class RitasNode:
             failure up to ``reconnect_max_s``, with multiplicative
             jitter ``reconnect_jitter`` so a restarted group does not
             reconnect in lockstep.
+        seed: when given, every random draw this node makes (reconnect
+            jitter, local consensus coins) comes from a ``random.Random``
+            seeded on ``(seed, n, process_id)``, making runs replayable;
+            when omitted (production), draws stay OS-random so the
+            group's jitter cannot be predicted by an attacker.
     """
 
     def __init__(
@@ -118,6 +123,7 @@ class RitasNode:
         *,
         factory: ProtocolFactory | None = None,
         connect_retry_s: float | None = None,
+        seed: int | None = None,
     ):
         if len(addresses) != config.num_processes:
             raise ValueError("need one address per process")
@@ -128,6 +134,11 @@ class RitasNode:
         self.connect_retry_s = (
             config.reconnect_base_s if connect_retry_s is None else connect_retry_s
         )
+        self.rng = (
+            random.Random(f"ritas/{seed}/{config.num_processes}/{process_id}")
+            if seed is not None
+            else random.Random()
+        )
         self.stack = Stack(
             config,
             process_id,
@@ -135,6 +146,7 @@ class RitasNode:
             keystore=keystore,
             clock=time.monotonic,
             factory=factory,
+            rng=self.rng,
         )
         self._server: asyncio.base_events.Server | None = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
@@ -240,6 +252,8 @@ class RitasNode:
         """
         if period_s <= 0:
             raise ValueError(f"period must be positive (got {period_s})")
+        if self._closed:
+            return  # a closed node runs no more timers
 
         async def ticker() -> None:
             try:
@@ -306,7 +320,7 @@ class RitasNode:
             self.connect_retry_s * (2.0 ** (failures - 1)), config.reconnect_max_s
         )
         if config.reconnect_jitter > 0:
-            delay *= 1.0 + random.uniform(0.0, config.reconnect_jitter)
+            delay *= 1.0 + self.rng.uniform(0.0, config.reconnect_jitter)
         if len(self.reconnect_delays) < 4096:
             self.reconnect_delays.append(delay)
         return delay
