@@ -132,6 +132,12 @@ class AtomicBroadcast(ControlBlock):
         self.agreements_empty = 0
         self.fast_forwards = 0
         self.payloads_injected = 0
+        # Metrics bookkeeping, populated only while the stack's registry
+        # is enabled: submit time of locally broadcast messages (observed
+        # as end-to-end ordered-delivery latency) and start time of each
+        # round's agreement (proposal to decision).
+        self._submit_times: dict[MsgId, float] = {}
+        self._agreement_started_at: dict[int, float] = {}
         #: Per-delivery order log ``(sender, rbid, payload digest)``,
         #: kept only when the stack opts in (the invariant checker
         #: compares prefixes across processes); ``None`` otherwise so
@@ -167,6 +173,8 @@ class AtomicBroadcast(ControlBlock):
             )
         rbid = self._next_rbid
         self._next_rbid += 1
+        if self.stack.metrics.enabled:
+            self._submit_times[(self.me, rbid)] = self.stack.clock()
         rb = self.make_child(
             "rb", ("msg", self.me, rbid), sender=self.me, purpose=PURPOSE_PAYLOAD
         )
@@ -579,6 +587,8 @@ class AtomicBroadcast(ControlBlock):
             if votes >= threshold and msg_id not in self._scheduled
         )
         self.agreements_started += 1
+        if self.stack.metrics.enabled:
+            self._agreement_started_at[round_number] = self.stack.clock()
         mvc = self.make_child("mvc", ("mvc", round_number), purpose=PURPOSE_AGREEMENT)
         mvc.propose([[s, r] for s, r in chosen])  # type: ignore[attr-defined]
 
@@ -600,6 +610,12 @@ class AtomicBroadcast(ControlBlock):
                     self._sched_total += 1
         else:
             self.agreements_empty += 1
+        started = self._agreement_started_at.pop(round_number, None)
+        if started is not None and self.stack.metrics.enabled:
+            self.stack.metrics.histogram(
+                "ritas_ab_agreement_seconds",
+                outcome="empty" if not ids else "batch",
+            ).observe(self.stack.clock() - started)
         self._sched_cum[round_number] = self._sched_total
         self._round += 1
         self._ensure_vect_instances(self._round)
@@ -617,6 +633,11 @@ class AtomicBroadcast(ControlBlock):
                 return
             self._delivery_queue.popleft()
             payload = self._received[msg_id]
+            submitted = self._submit_times.pop(msg_id, None)
+            if submitted is not None and self.stack.metrics.enabled:
+                self.stack.metrics.histogram(
+                    "ritas_ab_delivery_latency_seconds"
+                ).observe(self.stack.clock() - submitted)
             self._mark_delivered(msg_id)
             if self._gc_enabled:
                 del self._received[msg_id]

@@ -117,6 +117,11 @@ class BinaryConsensus(ControlBlock):
         # After deciding, participation in the (single) extra round is
         # armed but only triggered by a process that still needs it.
         self._armed_round: int | None = None
+        # Metrics bookkeeping (populated only while metrics are enabled):
+        # stack-clock time each round and each (round, step) broadcast
+        # started, consumed when the round/step completes.
+        self._round_started_at: dict[int, float] = {}
+        self._step_started_at: dict[tuple[int, int], float] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -167,6 +172,8 @@ class BinaryConsensus(ControlBlock):
         if self._halted:
             return
         self.rounds_executed = max(self.rounds_executed, round_number)
+        if self.stack.metrics.enabled:
+            self._round_started_at[round_number] = self.stack.clock()
         if self.stack.tracer.enabled:
             self.stack.tracer.emit(self.me, KIND_ROUND, self.path, round=round_number)
         state = self._round_state(round_number)
@@ -178,6 +185,8 @@ class BinaryConsensus(ControlBlock):
         if step in state.broadcast_sent:
             return
         state.broadcast_sent.add(step)
+        if self.stack.metrics.enabled:
+            self._step_started_at[(round_number, step)] = self.stack.clock()
         self._sent_values[(round_number, step)] = value
         rb = self.children.get(self.path + (round_number, step, self.me))
         if rb is None or rb.destroyed:
@@ -323,6 +332,13 @@ class BinaryConsensus(ControlBlock):
         if 1 not in state.broadcast_sent:
             return  # round not locally started yet (still catching up)
         state.triggered.add(step)
+        metrics = self.stack.metrics
+        if metrics.enabled:
+            started = self._step_started_at.pop((round_number, step), None)
+            if started is not None:
+                metrics.histogram(
+                    "ritas_bc_step_seconds", step=step
+                ).observe(self.stack.clock() - started)
         counts = state.counts[step]
         if step == 1:
             value = self._step_value(round_number, 2, majority_value(counts))
@@ -340,6 +356,13 @@ class BinaryConsensus(ControlBlock):
     def _finish_round(self, round_number: int, counts: Counter) -> None:
         decide_bar = self.config.ready_quorum  # 2f + 1
         adopt_bar = self.config.f + 1
+        metrics = self.stack.metrics
+        if metrics.enabled:
+            started = self._round_started_at.pop(round_number, None)
+            if started is not None:
+                metrics.histogram("ritas_bc_round_seconds").observe(
+                    self.stack.clock() - started
+                )
         next_value: int
         if counts[1] >= decide_bar or counts[0] >= decide_bar:
             decided_value = 1 if counts[1] >= decide_bar else 0
@@ -364,6 +387,11 @@ class BinaryConsensus(ControlBlock):
             next_value = 0
         else:
             next_value = self.stack.toss_coin(self.path, round_number)
+            if metrics.enabled:
+                # The coin-value distribution: under the paper's shared
+                # coin every correct process counts the same value; a
+                # skewed local-coin distribution is a liveness smell.
+                metrics.counter("ritas_bc_coin_total", value=next_value).inc()
         if self.decided and round_number > (self.decision_round or 0):
             # The post-decision round is complete; everyone who needed our
             # help to decide has had it.

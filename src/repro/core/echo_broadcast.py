@@ -32,6 +32,7 @@ from repro.core.trace import KIND_BROADCAST
 from repro.core.wire import Path, encode_value_cached
 from repro.crypto.hashing import HASH_LEN, hash_bytes
 from repro.crypto.mac import mac, mac_vector
+from repro.obs.metrics import COUNT_BUCKETS
 
 MSG_INIT = 0
 MSG_VECT = 1
@@ -82,6 +83,13 @@ class EchoBroadcast(ControlBlock):
             self.stack.tracer.emit(
                 self.me, KIND_BROADCAST, self.path, protocol=self.protocol
             )
+        if self.stack.metrics.enabled:
+            self.stack.metrics.histogram(
+                "ritas_broadcast_payload_bytes",
+                buckets=COUNT_BUCKETS,
+                protocol=self.protocol,
+                purpose=self.purpose,
+            ).observe(len(encode_value_cached(payload)))
         self.send_all(MSG_INIT, payload)
 
     # -- introspection ---------------------------------------------------------

@@ -94,6 +94,18 @@ class OocTable:
     def pending_by_sender(self) -> dict[int, int]:
         return {src: len(entries) for src, entries in self._by_sender.items() if entries}
 
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time depth/accounting view for the metrics layer
+        (:meth:`repro.core.stack.Stack.sample_gauges`) and tests."""
+        return {
+            "pending": self._size,
+            "bytes": self.bytes,
+            "peak_pending": self.peak_size,
+            "peak_bytes": self.peak_bytes,
+            "evictions": self.evictions,
+            "quota_evictions": self.quota_evictions,
+        }
+
     # -- storing / eviction ----------------------------------------------------
 
     def store(self, mbuf: Mbuf) -> None:

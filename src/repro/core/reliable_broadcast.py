@@ -29,6 +29,7 @@ from repro.core.stack import ControlBlock, Stack
 from repro.core.trace import KIND_BROADCAST
 from repro.core.wire import Path, encode_value_cached
 from repro.crypto.hashing import hash_bytes
+from repro.obs.metrics import COUNT_BUCKETS
 
 MSG_INIT = 0
 MSG_ECHO = 1
@@ -80,6 +81,13 @@ class ReliableBroadcast(ControlBlock):
             self.stack.tracer.emit(
                 self.me, KIND_BROADCAST, self.path, protocol=self.protocol
             )
+        if self.stack.metrics.enabled:
+            self.stack.metrics.histogram(
+                "ritas_broadcast_payload_bytes",
+                buckets=COUNT_BUCKETS,
+                protocol=self.protocol,
+                purpose=self.purpose,
+            ).observe(len(encode_value_cached(payload)))
         self.send_all(MSG_INIT, payload)
 
     # -- introspection -----------------------------------------------------------

@@ -67,6 +67,18 @@ class BoundedSendQueue:
     def bytes(self) -> int:
         return self._bytes
 
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time depth/shedding view for the metrics layer (the
+        runtimes' queue-gauge samplers) and tests."""
+        return {
+            "frames": len(self._entries),
+            "bytes": self._bytes,
+            "peak_frames": self.peak_frames,
+            "peak_bytes": self.peak_bytes,
+            "frames_shed": self.frames_shed,
+            "bytes_shed": self.bytes_shed,
+        }
+
     # -- operations -----------------------------------------------------------
 
     def push(self, data: bytes, priority: int | None = None) -> list[bytes]:

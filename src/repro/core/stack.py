@@ -58,6 +58,12 @@ from repro.core.wire import (
 )
 from repro.crypto.coin import CoinSource, LocalCoin
 from repro.crypto.keys import KeyStore, TrustedDealer
+from repro.obs.metrics import NULL_REGISTRY
+
+#: Histogram of instance-lifetime latency: creation to first delivery
+#: (create->deliver for rb/eb, create->decide for bc/mvc/vc, create->
+#: first ordered delivery for ab), labelled by protocol and purpose.
+METRIC_INSTANCE_LATENCY = "ritas_instance_latency_seconds"
 
 Outbox = Callable[[int, bytes], None]
 Clock = Callable[[], float]
@@ -103,6 +109,10 @@ class ControlBlock:
         self.children: dict[Path, ControlBlock] = {}
         self.on_deliver: DeliverFn | None = None
         self._destroyed = False
+        #: Stack-clock time this instance was created; the metrics layer
+        #: turns it into the instance-lifetime latency histogram.
+        self.created_at = stack.clock()
+        self._latency_observed = False
         if parent is not None:
             parent.children[path] = self
         stack._register(self)
@@ -216,6 +226,15 @@ class ControlBlock:
         """Deliver *event* to the parent instance or application callback."""
         if self._destroyed:
             return
+        if not self._latency_observed:
+            self._latency_observed = True
+            metrics = self.stack.metrics
+            if metrics.enabled:
+                metrics.histogram(
+                    METRIC_INSTANCE_LATENCY,
+                    protocol=self.protocol,
+                    purpose=self.purpose,
+                ).observe(self.stack.clock() - self.created_at)
         if self.stack.tracer.enabled:
             self.stack.tracer.emit(
                 self.stack.process_id, KIND_DELIVER, self.path, protocol=self.protocol
@@ -330,6 +349,9 @@ class Stack:
         self.stats = StackStats()
         #: Structured event recorder; NULL_TRACER by default (no cost).
         self.tracer = NULL_TRACER
+        #: Metric registry (:mod:`repro.obs`); NULL_REGISTRY by default,
+        #: so instrumentation guarded by ``metrics.enabled`` is free.
+        self.metrics = NULL_REGISTRY
         #: Optional callable invoked with the delivering control block on
         #: every :meth:`ControlBlock.deliver`; the invariant checker uses
         #: it to dirty-track which instance paths need re-checking.
@@ -456,6 +478,32 @@ class Stack:
         """The out-of-context table (read-only diagnostics: peaks,
         per-sender pending counts, eviction attribution)."""
         return self._ooc
+
+    # -- observability ---------------------------------------------------------------
+
+    def sample_gauges(self) -> None:
+        """Refresh this stack's depth gauges in its metrics registry.
+
+        Runtimes call this periodically (and before snapshotting): the
+        OOC table's pending depth, the live-instance count, and each
+        root atomic-broadcast instance's locally-pending backlog (the
+        quantity ``config.ab_pending_cap`` bounds).  Send-queue depths
+        live in the runtimes, which sample them alongside this.  A no-op
+        with metrics disabled.
+        """
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        ooc = self._ooc.snapshot()
+        metrics.gauge("ritas_ooc_pending").set(ooc["pending"])
+        metrics.gauge("ritas_ooc_bytes").set(ooc["bytes"])
+        metrics.gauge("ritas_instances_live").set(len(self._registry))
+        for path, block in self._registry.items():
+            if block.protocol == "ab" and block.parent is None:
+                metrics.gauge(
+                    "ritas_ab_pending_local",
+                    path="/".join(str(c) for c in path),
+                ).set(block.pending_local)  # type: ignore[attr-defined]
 
     # -- flood defense ---------------------------------------------------------------
 

@@ -16,7 +16,24 @@ it through narrow methods so tests can assert on exact counters.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+
+def _accumulate_fields(target, source) -> None:
+    """Merge *source*'s counters into *target* by field introspection:
+    ``int`` fields add, ``Counter`` fields update, anything else (per-
+    instance fields like ``rejoin_time_s``) is left alone.  A counter
+    added to the dataclass is merged automatically -- the hand-maintained
+    name lists this replaces silently dropped new fields."""
+    for f in fields(target):
+        mine = getattr(target, f.name)
+        theirs = getattr(source, f.name)
+        if isinstance(mine, Counter):
+            mine.update(theirs)
+        elif isinstance(mine, bool):
+            continue  # flags are state, not accumulable counts
+        elif isinstance(mine, int):
+            setattr(target, f.name, mine + theirs)
 
 
 #: Purpose tag for broadcasts that carry application payload
@@ -116,29 +133,7 @@ class StackStats:
 
     def merge(self, other: "StackStats") -> None:
         """Accumulate *other* into this object (for group-wide totals)."""
-        self.frames_sent += other.frames_sent
-        self.frames_received += other.frames_received
-        self.bytes_sent += other.bytes_sent
-        self.bytes_received += other.bytes_received
-        self.batches_sent += other.batches_sent
-        self.frames_coalesced += other.frames_coalesced
-        self.batches_received += other.batches_received
-        self.frames_decoalesced += other.frames_decoalesced
-        self.header_bytes_saved += other.header_bytes_saved
-        self.dropped.update(other.dropped)
-        self.broadcasts.update(other.broadcasts)
-        self.consensus_rounds.update(other.consensus_rounds)
-        self.decisions.update(other.decisions)
-        self.ooc_stored += other.ooc_stored
-        self.ooc_drained += other.ooc_drained
-        self.ooc_evicted += other.ooc_evicted
-        self.ooc_purged += other.ooc_purged
-        self.ooc_quota_evictions += other.ooc_quota_evictions
-        self.misbehavior_reports += other.misbehavior_reports
-        self.quarantine_entries += other.quarantine_entries
-        self.frames_quarantine_dropped += other.frames_quarantine_dropped
-        self.sends_shed += other.sends_shed
-        self.backpressure_signals += other.backpressure_signals
+        _accumulate_fields(self, other)
 
 
 @dataclass
@@ -178,27 +173,8 @@ class RecoveryStats:
     rejoin_time_s: float | None = None
 
     def merge(self, other: "RecoveryStats") -> None:
-        """Accumulate *other* into this object (for group-wide totals)."""
-        for name in (
-            "checkpoints_taken",
-            "checkpoints_stable",
-            "attestations_sent",
-            "attestations_accepted",
-            "attestations_rejected",
-            "digest_divergence",
-            "log_truncations",
-            "gc_advances",
-            "state_requests_served",
-            "payloads_served",
-            "state_bytes_sent",
-            "state_requests_sent",
-            "state_responses_received",
-            "certificates_rejected",
-            "snapshots_installed",
-            "suffix_entries_applied",
-            "buffered_applied",
-            "payload_requests_sent",
-            "payloads_injected",
-            "state_bytes_received",
-        ):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        """Accumulate *other* into this object (for group-wide totals).
+
+        ``rejoin_time_s`` is per-replica, not a sum, and stays untouched.
+        """
+        _accumulate_fields(self, other)

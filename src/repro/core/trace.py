@@ -21,11 +21,24 @@ Typical use::
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.core.wire import Path
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort JSON projection of an event detail value (digests are
+    bytes; anything exotic falls back to ``repr``)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
 
 #: Event kinds emitted by the stack and protocols.
 KIND_SEND = "send"
@@ -125,6 +138,12 @@ class Tracer:
     def __len__(self) -> int:
         return len(self._events)
 
+    @property
+    def dropped_events(self) -> int:
+        """Recorded events that have since fallen off the ring buffer
+        (everything :attr:`emitted` that is no longer retrievable)."""
+        return self.emitted - len(self._events)
+
     def events(self) -> list[TraceEvent]:
         return list(self._events)
 
@@ -134,8 +153,14 @@ class Tracer:
         process: int | None = None,
         path_prefix: Path | None = None,
     ) -> Iterator[TraceEvent]:
-        """Filter recorded events."""
-        for event in self._events:
+        """Filter recorded events.
+
+        Iterates over a snapshot, so a consumer may emit new events (or
+        clear the tracer) mid-iteration -- lazily walking the live deque
+        would raise ``RuntimeError: deque mutated during iteration`` the
+        moment a handler inside the loop traced anything.
+        """
+        for event in list(self._events):
             if kind is not None and event.kind != kind:
                 continue
             if process is not None and event.process != process:
@@ -148,6 +173,39 @@ class Tracer:
 
     def render(self, **filters: Any) -> str:
         return "\n".join(event.render() for event in self.select(**filters))
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """JSON-ready export: one meta record (emitted / retained /
+        :attr:`dropped_events`, so a reader knows whether the ring
+        overflowed) followed by one record per retained event."""
+        records: list[dict[str, Any]] = [
+            {
+                "record": "meta",
+                "emitted": self.emitted,
+                "retained": len(self._events),
+                "dropped_events": self.dropped_events,
+                "capacity": self._events.maxlen,
+                "incarnation": self.incarnation,
+            }
+        ]
+        for event in list(self._events):
+            records.append(
+                {
+                    "record": "event",
+                    "time": event.time,
+                    "process": event.process,
+                    "kind": event.kind,
+                    "path": [_json_safe(c) for c in event.path],
+                    "detail": {k: _json_safe(v) for k, v in event.detail.items()},
+                }
+            )
+        return records
+
+    def write_jsonl(self, out) -> None:
+        """Write :meth:`to_records` to file object *out*, one JSON
+        document per line."""
+        for record in self.to_records():
+            out.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def clear(self) -> None:
         self._events.clear()
@@ -171,8 +229,18 @@ class _NullTracer:
     def __len__(self) -> int:
         return 0
 
+    @property
+    def dropped_events(self) -> int:
+        return 0
+
     def events(self) -> list[TraceEvent]:
         return []
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return []
+
+    def write_jsonl(self, out) -> None:
+        pass
 
     def select(self, **filters: Any) -> Iterator[TraceEvent]:
         return iter(())

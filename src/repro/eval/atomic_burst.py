@@ -17,6 +17,7 @@ from repro.core.config import GroupConfig
 from repro.core.stats import StackStats
 from repro.net.faults import FaultPlan
 from repro.net.network import LAN_2006, LanSimulation, NetworkParameters
+from repro.obs.metrics import Histogram
 
 FAULTLOADS = ("failure-free", "fail-stop", "byzantine")
 
@@ -29,7 +30,13 @@ PAPER_BURST_SIZES = (4, 8, 16, 32, 64, 125, 250, 500, 1000)
 
 @dataclass(frozen=True)
 class BurstResult:
-    """Measurements from one atomic broadcast burst."""
+    """Measurements from one atomic broadcast burst.
+
+    The quantile fields describe per-message submit-to-ordered-delivery
+    latency across all senders, taken from the stacks'
+    ``ritas_ab_delivery_latency_seconds`` histograms (0 when the burst
+    ran with metrics off).
+    """
 
     faultload: str
     burst_size: int
@@ -43,6 +50,9 @@ class BurstResult:
     max_bc_rounds: int
     mvc_default_decisions: int
     delivered: int
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
 
 
 def _fault_plan(faultload: str, n: int) -> FaultPlan:
@@ -67,6 +77,7 @@ def run_burst(
     observer: int = 0,
     max_time: float = 900.0,
     batching: bool = True,
+    metrics: bool = True,
 ) -> BurstResult:
     """Run one burst and return its measurements (observer is a correct
     process; the burst is split evenly across the live senders).
@@ -80,6 +91,8 @@ def run_burst(
     sim = LanSimulation(
         config, seed=seed, ipsec=ipsec, params=params, fault_plan=plan
     )
+    if metrics:
+        sim.enable_metrics()
     if observer in plan.faulty_ids():
         raise ValueError("the observer must be a correct process")
 
@@ -126,6 +139,15 @@ def run_burst(
     combined = StackStats()
     for pid in sim.correct_ids():
         combined.merge(sim.stacks[pid].stats)
+    per_message = Histogram("ritas_ab_delivery_latency_seconds")
+    if metrics:
+        for pid in sim.correct_ids():
+            for metric in sim.stacks[pid].metrics.metrics():
+                if (
+                    isinstance(metric, Histogram)
+                    and metric.name == "ritas_ab_delivery_latency_seconds"
+                ):
+                    per_message.merge(metric)
     observer_ab = sim.stacks[observer].instance_at(("burst",))
     return BurstResult(
         faultload=faultload,
@@ -140,6 +162,9 @@ def run_burst(
         max_bc_rounds=combined.max_rounds("bc"),
         mvc_default_decisions=combined.decisions.get("mvc-default", 0),
         delivered=len(delivered_at),
+        latency_p50_s=per_message.quantile(0.5) if per_message.count else 0.0,
+        latency_p95_s=per_message.quantile(0.95) if per_message.count else 0.0,
+        latency_p99_s=per_message.quantile(0.99) if per_message.count else 0.0,
     )
 
 

@@ -12,6 +12,7 @@ def format_table1(rows: list[LatencyRow]) -> str:
     lines = [
         "Table 1 -- average latency for isolated executions (microseconds)",
         f"{'protocol':<24}{'w/IPSec':>10}{'w/o':>10}{'ovh':>6}"
+        f"{'p50':>9}{'p95':>9}{'p99':>9}"
         f"{'paper w/':>10}{'paper w/o':>10}{'ovh':>6}",
     ]
     for row in rows:
@@ -21,6 +22,7 @@ def format_table1(rows: list[LatencyRow]) -> str:
             f"{row.name:<24}"
             f"{row.with_ipsec_us:>10.0f}{row.without_ipsec_us:>10.0f}"
             f"{row.ipsec_overhead:>6.0%}"
+            f"{row.p50_us:>9.0f}{row.p95_us:>9.0f}{row.p99_us:>9.0f}"
             f"{paper['ipsec']:>10}{paper['plain']:>10}{paper_ovh:>6.0%}"
         )
     return "\n".join(lines)
@@ -31,12 +33,14 @@ def format_burst_sweep(results: list[BurstResult], title: str) -> str:
     lines = [
         title,
         f"{'m (B)':>7}{'k':>6}{'latency ms':>12}{'msgs/s':>9}"
+        f"{'p50 ms':>9}{'p99 ms':>9}"
         f"{'agr%':>7}{'agrs':>6}{'bc rnds':>8}{'mvc ⊥':>6}",
     ]
     for r in results:
         lines.append(
             f"{r.message_bytes:>7}{r.burst_size:>6}"
             f"{r.latency_s * 1e3:>12.1f}{r.throughput_msgs_s:>9.0f}"
+            f"{r.latency_p50_s * 1e3:>9.1f}{r.latency_p99_s * 1e3:>9.1f}"
             f"{r.agreement_cost:>7.1%}{r.agreements:>6}"
             f"{r.max_bc_rounds:>8}{r.mvc_default_decisions:>6}"
         )

@@ -46,6 +46,7 @@ from repro.crypto.coin import SharedCoinDealer
 from repro.crypto.keys import TrustedDealer
 from repro.net.faults import FaultPlan
 from repro.net.simulator import EventLoop, PeriodicHandle
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -277,9 +278,75 @@ class LanSimulation:
             tracer = old_stack.tracer
             tracer.rebind(clock=lambda: self.loop.now, incarnation=self._generation[pid])
             stack.tracer = tracer
+        if old_stack.metrics.enabled:
+            # The registry outlives the incarnation, exactly like the
+            # tracer: post-restart samples keep accumulating into the
+            # same histograms, stamped with the new incarnation.
+            registry = old_stack.metrics
+            registry.rebind(
+                clock=lambda: self.loop.now, incarnation=self._generation[pid]
+            )
+            stack.metrics = registry
         if self.on_stack_rebuilt is not None:
             self.on_stack_rebuilt(pid, stack)
         return stack
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def enable_metrics(
+        self, sample_interval_s: float | None = None
+    ) -> list[MetricsRegistry]:
+        """Attach a :class:`~repro.obs.metrics.MetricsRegistry` to every
+        stack (idempotent) and return the registries.
+
+        With *sample_interval_s* set, queue-depth gauges are sampled on a
+        per-process ticker every that many simulated seconds.  The
+        default (``None``) samples only on explicit
+        :meth:`sample_metrics` calls -- a ticker keeps the event loop
+        non-empty, which would break drive-until-idle ``run()`` loops.
+        """
+        for pid in self.config.process_ids:
+            stack = self.stacks[pid]
+            if not stack.metrics.enabled:
+                registry = MetricsRegistry(
+                    clock=lambda: self.loop.now,
+                    const_labels={"process": pid, "runtime": "sim"},
+                )
+                registry.rebind(incarnation=self._generation[pid])
+                stack.metrics = registry
+            if sample_interval_s is not None:
+                self.add_ticker(
+                    pid, sample_interval_s, lambda pid=pid: self._sample_process(pid)
+                )
+        return self.metric_registries()
+
+    def metric_registries(self) -> list[MetricsRegistry]:
+        """The enabled per-process registries, in pid order (feed these
+        to the exporters in :mod:`repro.obs.export`)."""
+        return [stack.metrics for stack in self.stacks if stack.metrics.enabled]
+
+    def sample_metrics(self) -> None:
+        """Sample queue-depth gauges for every live process, now."""
+        for pid in self.config.process_ids:
+            if not self.fault_plan.is_crashed(pid, self.loop.now):
+                self._sample_process(pid)
+
+    def _sample_process(self, pid: int) -> None:
+        stack = self.stacks[pid]
+        registry = stack.metrics
+        if not registry.enabled:
+            return
+        stack.sample_gauges()
+        for dest in self.config.process_ids:
+            if dest == pid:
+                continue
+            queue = self._link_pending.get((pid, dest))
+            registry.gauge("ritas_send_queue_frames", peer=dest).set(
+                len(queue) if queue is not None else 0
+            )
+            registry.gauge("ritas_send_queue_bytes", peer=dest).set(
+                queue.bytes if queue is not None else 0
+            )
 
     # -- wire model -----------------------------------------------------------------
 

@@ -1,0 +1,228 @@
+"""``python -m repro.obs`` -- render metric snapshots from the command line.
+
+Subcommands::
+
+    python -m repro.obs summary snapshot.jsonl          # histogram summaries
+    python -m repro.obs summary snapshot.jsonl --metric ritas_instance_latency_seconds
+    python -m repro.obs demo --out snapshot.jsonl       # produce a snapshot
+    python -m repro.obs prom snapshot.jsonl             # (re)render as Prometheus text
+
+``summary`` renders every histogram in a JSONL snapshot as a
+p50/p95/p99 table with an ASCII sketch of the bucket distribution;
+counters and gauges are listed underneath.  ``demo`` runs a small
+failure-free simulated burst with metrics enabled and writes its
+snapshot -- a quick way to produce a real input file (CI uploads one as
+an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import Any, TextIO
+
+from repro.obs.export import read_jsonl
+
+_BAR_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:8.3f}s "
+    if value >= 1e-3:
+        return f"{value * 1e3:8.3f}ms"
+    return f"{value * 1e6:8.1f}µs"
+
+
+def _fmt_labels(labels: dict[str, Any]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _spark(buckets: list[list[Any]], width: int = 24) -> str:
+    """Compress the sparse bucket list into a fixed-width sparkline."""
+    if not buckets:
+        return ""
+    counts = [count for _, count in buckets]
+    if len(counts) > width:
+        # Merge adjacent buckets down to *width* cells.
+        merged = [0] * width
+        for index, count in enumerate(counts):
+            merged[index * width // len(counts)] += count
+        counts = merged
+    peak = max(counts)
+    return "".join(
+        _BAR_BLOCKS[min(len(_BAR_BLOCKS) - 1, (c * (len(_BAR_BLOCKS) - 1) + peak - 1) // peak)]
+        if c
+        else _BAR_BLOCKS[0]
+        for c in counts
+    )
+
+
+def render_summary(
+    records: list[dict[str, Any]], metric: str | None = None, out: TextIO = sys.stdout
+) -> None:
+    histograms = [
+        r
+        for r in records
+        if r.get("record") == "metric" and r.get("type") == "histogram"
+        if metric is None or r["name"] == metric
+    ]
+    scalars = [
+        r
+        for r in records
+        if r.get("record") == "metric" and r.get("type") in ("counter", "gauge")
+        if metric is None or r["name"] == metric
+    ]
+    metas = [r for r in records if r.get("record") == "meta"]
+    if metas:
+        dropped = sum(m.get("dropped_events", 0) for m in metas)
+        out.write(
+            f"snapshot: {len(metas)} registr{'y' if len(metas) == 1 else 'ies'}, "
+            f"{len(histograms)} histograms, {len(scalars)} scalars"
+            + (f", {dropped} dropped trace events" if dropped else "")
+            + "\n"
+        )
+    by_name: dict[str, list[dict[str, Any]]] = defaultdict(list)
+    for record in histograms:
+        by_name[record["name"]].append(record)
+    for name in sorted(by_name):
+        out.write(f"\n{name}\n")
+        out.write(
+            f"  {'labels':<44}{'count':>7}{'p50':>11}{'p95':>11}{'p99':>11}"
+            f"{'max':>11}  distribution\n"
+        )
+        for record in sorted(by_name[name], key=lambda r: _fmt_labels(r["labels"])):
+            if not record.get("count"):
+                continue
+            out.write(
+                f"  {_fmt_labels(record['labels']):<44}{record['count']:>7}"
+                f"{_fmt_seconds(record.get('p50')):>11}"
+                f"{_fmt_seconds(record.get('p95')):>11}"
+                f"{_fmt_seconds(record.get('p99')):>11}"
+                f"{_fmt_seconds(record.get('max')):>11}"
+                f"  {_spark(record.get('buckets', []))}"
+                + ("" if record.get("exact", True) else " (interpolated)")
+                + "\n"
+            )
+    if scalars:
+        out.write("\nscalars\n")
+        for record in sorted(scalars, key=lambda r: (r["name"], _fmt_labels(r["labels"]))):
+            value = record["value"]
+            rendered = str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+            out.write(
+                f"  {record['name']:<40}{_fmt_labels(record['labels']):<40}"
+                f"{rendered:>12}  ({record['type']})\n"
+            )
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    with open(args.snapshot, encoding="utf-8") as handle:
+        records = read_jsonl(handle)
+    render_summary(records, metric=args.metric)
+    return 0
+
+
+def _cmd_prom(args: argparse.Namespace) -> int:
+    """Rebuild a Prometheus-style exposition from a JSONL snapshot.
+
+    Snapshot records already carry everything the text format needs, so
+    this is a pure re-rendering (no registry required).
+    """
+    import math
+
+    with open(args.snapshot, encoding="utf-8") as handle:
+        records = read_jsonl(handle)
+    from repro.obs.export import _format_value, _label_string, _metric_name
+
+    families: dict[str, tuple[str, list[str]]] = {}
+    for record in records:
+        if record.get("record") != "metric":
+            continue
+        name = _metric_name(record["name"])
+        kind, lines = families.setdefault(name, (record["type"], []))
+        labels = record["labels"]
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_label_string(labels)} {_format_value(record['value'])}")
+        else:
+            cumulative = 0
+            for le, count in record.get("buckets", []):
+                cumulative += count
+                bound = math.inf if le is None else le
+                lines.append(
+                    f"{name}_bucket{_label_string(labels, {'le': _format_value(bound)})}"
+                    f" {cumulative}"
+                )
+            if record.get("buckets") is None or (
+                not record.get("buckets") or record["buckets"][-1][0] is not None
+            ):
+                lines.append(
+                    f"{name}_bucket{_label_string(labels, {'le': '+Inf'})}"
+                    f" {record.get('count', 0)}"
+                )
+            lines.append(f"{name}_sum{_label_string(labels)} {_format_value(record['sum'])}")
+            lines.append(f"{name}_count{_label_string(labels)} {record['count']}")
+    for family_name in sorted(families):
+        kind, lines = families[family_name]
+        print(f"# TYPE {family_name} {kind}")
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.net.network import LanSimulation
+    from repro.obs.export import write_jsonl_path
+
+    sim = LanSimulation(n=args.n, seed=args.seed)
+    registries = sim.enable_metrics()
+    for pid in sim.config.process_ids:
+        sim.stacks[pid].create("ab", ("demo",))
+    for pid in sim.config.process_ids:
+        ab = sim.stacks[pid].instance_at(("demo",))
+        with sim.stacks[pid].coalesce():
+            for _ in range(args.k // sim.config.num_processes):
+                ab.broadcast(b"demo-payload")
+    observer = sim.stacks[0].instance_at(("demo",))
+    sim.run(until=lambda: observer.delivered_count >= args.k, max_time=120.0)
+    sim.sample_metrics()
+    count = write_jsonl_path(
+        args.out,
+        registries,
+        meta={"runtime": "sim", "scenario": "demo", "n": args.n, "seed": args.seed},
+    )
+    print(f"wrote {count} records to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render RITAS metric snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="render histogram summaries (p50/p95/p99)")
+    p_summary.add_argument("snapshot", help="JSONL snapshot file")
+    p_summary.add_argument("--metric", help="only this metric name")
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_prom = sub.add_parser("prom", help="render a snapshot as Prometheus text")
+    p_prom.add_argument("snapshot", help="JSONL snapshot file")
+    p_prom.set_defaults(fn=_cmd_prom)
+
+    p_demo = sub.add_parser("demo", help="run a small simulated burst, write its snapshot")
+    p_demo.add_argument("--out", default="obs-snapshot.jsonl")
+    p_demo.add_argument("--n", type=int, default=4)
+    p_demo.add_argument("--k", type=int, default=32, help="burst size")
+    p_demo.add_argument("--seed", type=int, default=1)
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

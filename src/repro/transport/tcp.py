@@ -25,6 +25,7 @@ from repro.core.stack import ProtocolFactory, Stack
 from repro.core.trace import KIND_SHED
 from repro.core.wire import encode_batch
 from repro.crypto.keys import KeyStore
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.framing import MAC_LEN, FrameCodec, FramingError, peek_src
 
 logger = logging.getLogger(__name__)
@@ -265,6 +266,39 @@ class RitasNode:
                 pass
 
         self._tasks.append(asyncio.create_task(ticker()))
+
+    # -- metrics --------------------------------------------------------------------
+
+    def enable_metrics(
+        self, sample_interval_s: float | None = None
+    ) -> MetricsRegistry:
+        """Attach a :class:`~repro.obs.metrics.MetricsRegistry` to this
+        node's stack (idempotent) and return it.
+
+        Metrics are timed on the same monotonic clock as the stack.
+        With *sample_interval_s* set, queue-depth gauges are sampled on
+        an :meth:`add_ticker` timer (requires a running event loop, so
+        call it after :meth:`start` in that case); the default samples
+        only on explicit :meth:`sample_metrics` calls.
+        """
+        if not self.stack.metrics.enabled:
+            self.stack.metrics = MetricsRegistry(
+                clock=time.monotonic,
+                const_labels={"process": self.process_id, "runtime": "tcp"},
+            )
+        if sample_interval_s is not None:
+            self.add_ticker(sample_interval_s, self.sample_metrics)
+        return self.stack.metrics
+
+    def sample_metrics(self) -> None:
+        """Sample send-queue depth gauges and the stack's gauges, now."""
+        registry = self.stack.metrics
+        if not registry.enabled:
+            return
+        self.stack.sample_gauges()
+        for pid, channel in self._send_queues.items():
+            registry.gauge("ritas_send_queue_frames", peer=pid).set(len(channel))
+            registry.gauge("ritas_send_queue_bytes", peer=pid).set(channel.bytes)
 
     # -- outbound -------------------------------------------------------------------
 

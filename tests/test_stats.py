@@ -1,10 +1,31 @@
 """Statistics accounting, including the Figure 7 derived quantities."""
 
+from collections import Counter
+from dataclasses import fields
+
 from repro.core.stats import (
     PURPOSE_AGREEMENT,
     PURPOSE_PAYLOAD,
+    RecoveryStats,
     StackStats,
 )
+
+
+def _populate(stats, base=1):
+    """Set every accumulable field of *stats* to a distinct nonzero value
+    (ints get base+index, Counters get one entry)."""
+    expected = {}
+    for index, f in enumerate(fields(stats)):
+        current = getattr(stats, f.name)
+        if isinstance(current, Counter):
+            current[f"{f.name}-key"] = base + index
+            expected[f.name] = Counter({f"{f.name}-key": base + index})
+        elif isinstance(current, bool):
+            continue
+        elif isinstance(current, int):
+            setattr(stats, f.name, base + index)
+            expected[f.name] = base + index
+    return expected
 
 
 class TestCounters:
@@ -85,3 +106,35 @@ class TestMerge:
         b.record_send(10)
         a.merge(b)
         assert b.frames_sent == 1
+
+    def test_merge_covers_every_stack_stats_field(self):
+        # Drift-proofing: merge is driven by dataclasses.fields(), so a
+        # counter added to StackStats is merged automatically.  Populate
+        # EVERY int and Counter field with a distinct nonzero value and
+        # check each one doubles -- a field silently skipped by merge
+        # fails here by name.
+        a, b = StackStats(), StackStats()
+        expected = _populate(a)
+        assert expected  # the dataclass has accumulable fields
+        _populate(b)
+        a.merge(b)
+        for name, value in expected.items():
+            merged = getattr(a, name)
+            if isinstance(value, Counter):
+                doubled = Counter({k: 2 * v for k, v in value.items()})
+                assert merged == doubled, f"Counter field {name} not merged"
+            else:
+                assert merged == 2 * value, f"int field {name} not merged"
+
+    def test_merge_covers_every_recovery_stats_field(self):
+        a, b = RecoveryStats(), RecoveryStats()
+        expected = _populate(a)
+        assert expected
+        _populate(b)
+        b.rejoin_time_s = 9.5
+        a.merge(b)
+        for name, value in expected.items():
+            assert getattr(a, name) == 2 * value, f"field {name} not merged"
+        # Per-replica, not a sum: stays whatever this replica recorded.
+        assert a.rejoin_time_s is None
+        assert b.rejoin_time_s == 9.5

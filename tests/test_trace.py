@@ -90,6 +90,125 @@ class TestTracer:
         assert not NULL_TRACER.enabled
 
 
+class TestSelectSnapshot:
+    def test_emit_during_select_iteration(self):
+        # Regression: select() used to walk the live deque lazily, so a
+        # consumer that traced anything mid-iteration hit
+        # "RuntimeError: deque mutated during iteration".
+        tracer = Tracer()
+        for i in range(5):
+            tracer.emit(0, KIND_SEND, (i,))
+        seen = []
+        for event in tracer.select(kind=KIND_SEND):
+            tracer.emit(0, KIND_RECEIVE, event.path, echoed=True)
+            seen.append(event.path)
+        assert seen == [(i,) for i in range(5)]
+        assert len(list(tracer.select(kind=KIND_RECEIVE))) == 5
+
+    def test_clear_during_select_iteration(self):
+        tracer = Tracer()
+        tracer.emit(0, KIND_SEND, ())
+        tracer.emit(0, KIND_SEND, ())
+        count = 0
+        for _ in tracer.select():
+            tracer.clear()
+            count += 1
+        assert count == 2
+
+    def test_emit_during_select_at_capacity(self):
+        # The nastiest variant: the ring is full, so every emit also
+        # evicts the oldest event while we iterate.
+        tracer = Tracer(capacity=4)
+        for i in range(4):
+            tracer.emit(0, KIND_SEND, (i,))
+        walked = 0
+        for event in tracer.select():
+            tracer.emit(1, KIND_RECEIVE, event.path)
+            walked += 1
+        assert walked == 4
+
+
+class TestDroppedEvents:
+    def test_counts_ring_overflow(self):
+        tracer = Tracer(capacity=3)
+        assert tracer.dropped_events == 0
+        for i in range(10):
+            tracer.emit(0, KIND_SEND, (i,))
+        assert tracer.dropped_events == 7
+
+    def test_clear_counts_as_dropped(self):
+        tracer = Tracer()
+        tracer.emit(0, KIND_SEND, ())
+        tracer.clear()
+        assert tracer.dropped_events == 1
+
+    def test_null_tracer_never_drops(self):
+        assert NULL_TRACER.dropped_events == 0
+
+
+class TestJsonlExport:
+    def test_meta_record_stamps_drop_accounting(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(0, KIND_SEND, (i,))
+        records = tracer.to_records()
+        meta = records[0]
+        assert meta["record"] == "meta"
+        assert meta["emitted"] == 5
+        assert meta["retained"] == 2
+        assert meta["dropped_events"] == 3
+        assert meta["capacity"] == 2
+        assert len(records) == 3
+
+    def test_event_records_are_json_safe(self):
+        import json
+
+        tracer = Tracer()
+        tracer.emit(
+            0,
+            KIND_DECIDE,
+            ("bc", 7),
+            digest=b"\xde\xad",
+            values=(1, b"\x01"),
+            exotic={"not", "json"},
+        )
+        records = tracer.to_records()
+        text = json.dumps(records)  # must not raise
+        event = records[1]
+        assert event["path"] == ["bc", 7]
+        assert event["detail"]["digest"] == "dead"
+        assert event["detail"]["values"] == [1, "01"]
+        assert isinstance(event["detail"]["exotic"], str)
+        assert json.loads(text)[1] == event
+
+    def test_write_jsonl_roundtrip(self):
+        import io
+        import json
+
+        tracer = Tracer()
+        tracer.emit(3, KIND_SEND, ("a",), dest=1)
+        out = io.StringIO()
+        tracer.write_jsonl(out)
+        lines = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert lines[0]["record"] == "meta"
+        assert lines[1] == {
+            "record": "event",
+            "time": 0.0,
+            "process": 3,
+            "kind": KIND_SEND,
+            "path": ["a"],
+            "detail": {"dest": 1},
+        }
+
+    def test_null_tracer_exports_nothing(self):
+        import io
+
+        out = io.StringIO()
+        NULL_TRACER.write_jsonl(out)
+        assert NULL_TRACER.to_records() == []
+        assert out.getvalue() == ""
+
+
 class TestStackIntegration:
     def test_consensus_emits_lifecycle_events(self):
         net, tracers = traced_net()
