@@ -1,0 +1,207 @@
+"""Microbenchmarks for the per-frame hot paths.
+
+``python -m repro.perf`` measures the end-to-end effect of the hot-path
+work (events/sec through the simulator, msgs/sec through the TCP
+runtime); this file isolates the individual operations those numbers
+are built from, so a regression in one layer is attributable without
+re-profiling the whole stack:
+
+- **wire**: frame encode from a cached path prefix, eager decode,
+  validate-only lazy parse, and the content-addressed fast-path memo
+  (cold vs hot);
+- **mac**: MAC vector construction and batched column verification
+  against the per-call baseline;
+- **demux**: a full ``Stack.receive`` of a registered instance's frame
+  -- the interned-path dispatch plus lazy mbuf construction;
+- **loop**: raw simulator event throughput with no protocol work.
+
+Run standalone (``python benchmarks/bench_hotpaths.py [--smoke]``) or
+through pytest (``pytest benchmarks/bench_hotpaths.py``), which checks
+only that every path works and reports rates informationally -- wall
+clock assertions would be machine-dependent noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.core.config import GroupConfig
+from repro.core.mbuf import Mbuf
+from repro.core.stack import ControlBlock, Stack
+from repro.core.wire import (
+    decode_frame_ex,
+    decode_frame_tail_lazy,
+    encode_frame,
+    encode_frame_from_prefix,
+    encode_frame_prefix,
+    encode_value,
+    fastpath_memo_clear,
+    frame_fastpath,
+)
+from repro.crypto.keys import TrustedDealer
+from repro.crypto.mac import mac, mac_vector, verify_mac, verify_mac_batch
+from repro.net.simulator import EventLoop
+
+#: The deep agreement path every AB round routes through.
+_PATH = ("bench", "vect", 3, "mvc", "bc")
+#: An agreement-shaped payload: ids, a nested vector, a 100B message.
+_PAYLOAD = [7, [[0, 1], [1, 2], [2, 3], [3, 4]], bytes(100)]
+
+
+def _rate(iterations: int, fn: Callable[[], None], repeats: int = 3) -> float:
+    """Best-of-*repeats* operations per second of ``fn`` x *iterations*."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return iterations / best
+
+
+def bench_wire(iterations: int) -> dict[str, float]:
+    prefix = encode_frame_prefix(_PATH)
+    frame = encode_frame(_PATH, 1, _PAYLOAD)
+    offset = 6 + len(frame_fastpath(frame)[0])
+
+    def fastpath_cold() -> None:
+        fastpath_memo_clear()
+        frame_fastpath(frame)
+
+    fastpath_memo_clear()
+    frame_fastpath(frame)  # warm the memo for the hot variant
+    results = {
+        "encode_from_prefix": _rate(
+            iterations, lambda: encode_frame_from_prefix(prefix, 1, _PAYLOAD)
+        ),
+        "decode_eager": _rate(iterations, lambda: decode_frame_ex(frame)),
+        "decode_lazy_validate": _rate(
+            iterations, lambda: decode_frame_tail_lazy(frame, offset)
+        ),
+        "fastpath_cold": _rate(iterations, fastpath_cold),
+        "fastpath_hot": _rate(iterations, lambda: frame_fastpath(frame)),
+    }
+    fastpath_memo_clear()
+    return results
+
+
+def bench_mac(iterations: int) -> dict[str, float]:
+    n = 4
+    dealer = TrustedDealer(n, seed=b"bench-hotpaths")
+    stores = [dealer.keystore_for(pid) for pid in range(n)]
+    message = encode_value(_PAYLOAD)
+    vector = mac_vector(message, stores[0])
+    checks = [(stores[1].key_for(0), vector[1])] * n
+
+    def vector_loop() -> None:
+        for row in range(n):
+            mac(message, stores[0].key_for(row))
+
+    def verify_loop() -> None:
+        for key, tag in checks:
+            verify_mac(message, key, tag)
+
+    return {
+        "mac_vector": _rate(iterations, lambda: mac_vector(message, stores[0])),
+        "mac_vector_baseline": _rate(iterations, vector_loop),
+        "verify_batch": _rate(iterations, lambda: verify_mac_batch(message, checks)),
+        "verify_batch_baseline": _rate(iterations, verify_loop),
+    }
+
+
+class _SinkBlock(ControlBlock):
+    """Terminal instance: counts inputs, no protocol behavior."""
+
+    protocol = "sink"
+
+    def __init__(self, stack, path, parent=None, purpose=None):
+        super().__init__(stack, path, parent, purpose)
+        self.count = 0
+        self.decoded = 0
+
+    def input(self, mbuf: Mbuf) -> None:
+        self.count += 1
+
+
+def bench_demux(iterations: int) -> dict[str, float]:
+    config = GroupConfig(4)
+    stack = Stack(config, 0, outbox=lambda dest, data: None)
+    block = _SinkBlock(stack, _PATH)
+    frame = encode_frame(_PATH, 1, _PAYLOAD)
+    fastpath_memo_clear()
+    results = {
+        "stack_receive": _rate(iterations, lambda: stack.receive(1, frame)),
+    }
+    assert block.count >= iterations
+    fastpath_memo_clear()
+    return results
+
+
+def bench_loop(iterations: int) -> dict[str, float]:
+    def run_once() -> None:
+        loop = EventLoop()
+        noop = lambda: None  # noqa: E731
+        for i in range(1000):
+            loop.schedule(i * 0.001, noop)
+        loop.run()
+        assert loop.events_processed == 1000
+
+    repeats = max(1, iterations // 1000)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_once()
+        best = min(best, time.perf_counter() - start)
+    return {"events": 1000 / best}
+
+
+def run_hotpath_bench(iterations: int = 20_000) -> dict[str, dict[str, float]]:
+    return {
+        "wire": bench_wire(iterations),
+        "mac": bench_mac(max(1, iterations // 4)),
+        "demux": bench_demux(iterations),
+        "loop": bench_loop(iterations),
+    }
+
+
+# -- pytest entry points (sanity, not wall-clock gates) ----------------------
+
+
+def test_hotpaths_smoke():
+    report = run_hotpath_bench(iterations=200)
+    for area, metrics in report.items():
+        for name, rate in metrics.items():
+            assert rate > 0, f"{area}.{name} produced no throughput"
+
+
+def test_fastpath_memo_faster_than_cold():
+    # The one *relative* claim cheap enough to gate on: a memo hit must
+    # beat re-parsing the same frame.  Both sides run in-process
+    # back-to-back, so machine speed cancels out.
+    wire = bench_wire(2_000)
+    assert wire["fastpath_hot"] > wire["fastpath_cold"]
+
+
+def _report(report: dict[str, dict[str, float]]) -> None:
+    for area, metrics in report.items():
+        print(f"[{area}]")
+        for name, rate in sorted(metrics.items()):
+            print(f"  {name:28s} {rate:14,.0f} ops/s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny iteration counts (CI)"
+    )
+    args = parser.parse_args(argv)
+    report = run_hotpath_bench(iterations=1_000 if args.smoke else 20_000)
+    _report(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

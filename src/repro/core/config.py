@@ -8,6 +8,7 @@ corrupt, hence ``n >= 3f + 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.core.errors import ConfigurationError
 
@@ -165,8 +166,10 @@ class GroupConfig:
     def f(self) -> int:
         return self.num_faulty
 
-    @property
+    @cached_property
     def process_ids(self) -> range:
+        # Cached: the send path iterates this once per broadcast; the
+        # config is frozen, so one range object serves the lifetime.
         return range(self.num_processes)
 
     # -- quorum thresholds used across the stack ----------------------------

@@ -31,7 +31,7 @@ from repro.core.stack import ControlBlock, Stack
 from repro.core.trace import KIND_BROADCAST
 from repro.core.wire import Path, encode_value_cached
 from repro.crypto.hashing import HASH_LEN, hash_bytes
-from repro.crypto.mac import mac, mac_vector
+from repro.crypto.mac import mac_vector, verify_mac_batch
 from repro.obs.metrics import COUNT_BUCKETS
 
 MSG_INIT = 0
@@ -60,6 +60,7 @@ class EchoBroadcast(ControlBlock):
         self.delivered = False
         self.delivered_value: Any = None
         self._init_payload: Any = None
+        self._init_encoded: bytes | None = None
         self._init_seen = False
         self._vect_sent = False
         # Sender-side state: row index -> MAC vector.
@@ -125,9 +126,15 @@ class EchoBroadcast(ControlBlock):
             return
         self._init_seen = True
         self._init_payload = mbuf.payload
+        # The frame already carries the canonical payload encoding; keep
+        # a materialized copy so VECT and MAT verification never
+        # re-encode the payload (identical bytes, the codec is
+        # canonical).
+        raw = mbuf.raw_payload
+        self._init_encoded = bytes(raw) if raw is not None else None
         if not self._vect_sent:
             self._vect_sent = True
-            vector = mac_vector(encode_value_cached(mbuf.payload), self.stack.keystore)
+            vector = mac_vector(self._encoded_init(), self.stack.keystore)
             self.send(self.sender, MSG_VECT, vector)
         if self._pending_mat is not None:
             pending, self._pending_mat = self._pending_mat, None
@@ -188,15 +195,17 @@ class EchoBroadcast(ControlBlock):
             seen_rows.add(entry[0])
         return True
 
+    def _encoded_init(self) -> bytes:
+        if self._init_encoded is None:
+            self._init_encoded = encode_value_cached(self._init_payload)
+        return self._init_encoded
+
     def _verify_column(self, column: list[list[Any]]) -> None:
         if self.delivered:
             return
-        encoded = encode_value_cached(self._init_payload)
-        valid = 0
-        for row_index, tag in column:
-            expected = mac(encoded, self.stack.keystore.key_for(row_index))
-            if tag == expected:
-                valid += 1
+        key_for = self.stack.keystore.key_for
+        checks = [(key_for(row_index), tag) for row_index, tag in column]
+        valid = sum(verify_mac_batch(self._encoded_init(), checks))
         if valid >= self.config.mat_quorum:
             self.delivered = True
             self.delivered_value = self._init_payload

@@ -21,19 +21,42 @@ support per message digest and per source process.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any
 
 from repro.core.errors import ProtocolViolationError
 from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
 from repro.core.trace import KIND_BROADCAST
-from repro.core.wire import Path, encode_value_cached
+from repro.core.wire import Path, decode_value, encode_value_cached
 from repro.crypto.hashing import hash_bytes
 from repro.obs.metrics import COUNT_BUCKETS
 
 MSG_INIT = 0
 MSG_ECHO = 1
 MSG_READY = 2
+
+# Content-addressed payload-digest memo, shared across instances: the
+# same encoded payload is digested once per arriving ECHO/READY vote on
+# every process (n-1 times per phase per broadcast), and the receive
+# fast path hands repeat frames the *same* raw bytes object, so the
+# dict lookup amortizes to a cached-hash probe.  Sound because the key
+# is the exact bytes being digested.
+_DIGEST_MEMO_MAX = 512
+_digest_memo: "OrderedDict[bytes, bytes]" = OrderedDict()
+
+
+def _digest_of_raw(raw) -> tuple[bytes, bytes]:
+    """``(digest, canonical_bytes)`` of a raw encoded payload, memoized."""
+    key = raw if type(raw) is bytes else bytes(raw)
+    memo = _digest_memo
+    digest = memo.get(key)
+    if digest is None:
+        digest = hash_bytes(key)
+        memo[key] = digest
+        if len(memo) > _DIGEST_MEMO_MAX:
+            memo.popitem(last=False)
+    return digest, key
 
 
 class ReliableBroadcast(ControlBlock):
@@ -59,8 +82,15 @@ class ReliableBroadcast(ControlBlock):
         self._init_seen = False
         self._echo_sent = False
         self._ready_sent = False
-        # digest -> payload (kept so delivery can hand the value up).
+        # digest -> decoded payload (kept so delivery can hand the value
+        # up); populated lazily -- vote handling works on digests and
+        # raw encodings alone, so a payload is decoded at most once per
+        # digest, at delivery or when relayed without its encoding.
         self._payloads: dict[bytes, Any] = {}
+        # digest -> canonical payload encoding, straight off the wire.
+        # ECHO/READY amplification splices these back into outgoing
+        # frames (send_all_raw) without ever building the Python value.
+        self._raws: dict[bytes, bytes] = {}
         # digest -> set of source pids, one vote per source per phase.
         self._echoes: dict[bytes, set[int]] = {}
         self._readies: dict[bytes, set[int]] = {}
@@ -107,12 +137,11 @@ class ReliableBroadcast(ControlBlock):
     def input(self, mbuf: Mbuf) -> None:
         if self.destroyed:
             return
-        if mbuf.mtype == MSG_INIT:
-            self._on_init(mbuf)
-        elif mbuf.mtype == MSG_ECHO:
-            self._on_echo(mbuf)
-        elif mbuf.mtype == MSG_READY:
-            self._on_ready(mbuf)
+        # Tuple-indexed dispatch: INIT/ECHO/READY are the densest vote
+        # path in the stack (every broadcast crosses it n^2 times).
+        mtype = mbuf.mtype
+        if 0 <= mtype <= 2:
+            _RB_HANDLERS[mtype](self, mbuf)
         else:
             raise ProtocolViolationError(f"unknown rb mtype {mbuf.mtype}")
 
@@ -126,13 +155,20 @@ class ReliableBroadcast(ControlBlock):
         self._init_seen = True
         if not self._echo_sent:
             self._echo_sent = True
-            self.send_all(MSG_ECHO, mbuf.payload)
+            raw = mbuf.raw_payload
+            if raw is not None:
+                # Relay the INIT's canonical encoding verbatim -- no
+                # decode of the inbound payload, no re-encode outbound,
+                # identical bytes on the wire.
+                self.send_all_raw(MSG_ECHO, raw)
+            else:
+                self.send_all(MSG_ECHO, mbuf.payload)
 
     def _on_echo(self, mbuf: Mbuf) -> None:
         if mbuf.src in self._echo_sources:
             return
         self._echo_sources.add(mbuf.src)
-        digest = self._digest_of(mbuf.payload)
+        digest = self._digest_of_mbuf(mbuf)
         self._echoes.setdefault(digest, set()).add(mbuf.src)
         self._check_progress(digest)
 
@@ -140,9 +176,24 @@ class ReliableBroadcast(ControlBlock):
         if mbuf.src in self._ready_sources:
             return
         self._ready_sources.add(mbuf.src)
-        digest = self._digest_of(mbuf.payload)
+        digest = self._digest_of_mbuf(mbuf)
         self._readies.setdefault(digest, set()).add(mbuf.src)
         self._check_progress(digest)
+
+    def _digest_of_mbuf(self, mbuf: Mbuf) -> bytes:
+        # The frame already carries the canonical payload encoding:
+        # digest it straight from the wire slice instead of re-encoding
+        # the decoded value (identical digest, the codec is canonical).
+        # The decoded value is deliberately NOT touched here -- for a
+        # lazy mbuf that would force the decode this fast path exists to
+        # avoid; _value_of materializes it at most once per digest.
+        raw = mbuf.raw_payload
+        if raw is not None:
+            digest, canonical = _digest_of_raw(raw)
+            if digest not in self._raws and digest not in self._payloads:
+                self._raws[digest] = canonical
+            return digest
+        return self._digest_of(mbuf.payload)
 
     def _digest_of(self, payload: Any) -> bytes:
         # Cached: the same payload is re-encoded once per arriving
@@ -150,6 +201,19 @@ class ReliableBroadcast(ControlBlock):
         digest = hash_bytes(encode_value_cached(payload))
         self._payloads.setdefault(digest, payload)
         return digest
+
+    def _value_of(self, digest: bytes) -> Any:
+        """The decoded payload for *digest*, materialized at most once.
+
+        The raw encoding was validated by the receive path, so the
+        decode cannot fail.
+        """
+        try:
+            return self._payloads[digest]
+        except KeyError:
+            value = decode_value(self._raws[digest])
+            self._payloads[digest] = value
+            return value
 
     def _check_progress(self, digest: bytes) -> None:
         cfg = self.config
@@ -159,8 +223,20 @@ class ReliableBroadcast(ControlBlock):
             echoes >= cfg.echo_quorum or readies >= cfg.ready_amplify
         ):
             self._ready_sent = True
-            self.send_all(MSG_READY, self._payloads[digest])
+            raw = self._raws.get(digest)
+            if raw is not None:
+                self.send_all_raw(MSG_READY, raw)
+            else:
+                self.send_all(MSG_READY, self._payloads[digest])
         if not self.delivered and readies >= cfg.ready_quorum:
             self.delivered = True
-            self.delivered_value = self._payloads[digest]
+            self.delivered_value = self._value_of(digest)
             self.deliver(self.delivered_value)
+
+
+#: INIT/ECHO/READY handlers indexed by mtype (see ReliableBroadcast.input).
+_RB_HANDLERS = (
+    ReliableBroadcast._on_init,
+    ReliableBroadcast._on_echo,
+    ReliableBroadcast._on_ready,
+)

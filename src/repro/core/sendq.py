@@ -29,7 +29,12 @@ from __future__ import annotations
 
 from collections import Counter, OrderedDict, deque
 
-from repro.core.wire import PRIORITY_AGREEMENT, PRIORITY_BULK, frame_priority
+from repro.core.wire import (
+    PRIORITY_AGREEMENT,
+    PRIORITY_BULK,
+    PRIORITY_PAYLOAD,
+    frame_priority,
+)
 
 _NUM_PRIORITIES = PRIORITY_AGREEMENT + 1
 
@@ -89,7 +94,13 @@ class BoundedSendQueue:
         backlog is worth more than one more bulk chunk).
         """
         if priority is None:
-            priority = frame_priority(data)
+            if not self.max_frames:
+                # Unbounded queue: classification only matters for
+                # shedding, which can never trigger -- skip the header
+                # peek entirely (it decodes every batch member).
+                priority = PRIORITY_PAYLOAD
+            else:
+                priority = frame_priority(data)
         priority = min(max(priority, PRIORITY_BULK), PRIORITY_AGREEMENT)
         shed: list[bytes] = []
         if self.max_frames and len(self._entries) >= self.max_frames:

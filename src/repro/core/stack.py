@@ -50,10 +50,14 @@ from repro.core.trace import (
 from repro.core.wire import (
     MAX_BATCH_DEPTH,
     Path,
-    decode_batch,
-    decode_frame,
+    decode_batch_views,
+    decode_frame_ex,
     encode_batch,
     encode_frame,
+    encode_frame_from_prefix,
+    encode_frame_from_prefix_raw,
+    encode_frame_prefix,
+    frame_fastpath,
     is_batch,
 )
 from repro.crypto.coin import CoinSource, LocalCoin
@@ -190,6 +194,19 @@ class ControlBlock:
     def send_all(self, mtype: int, payload: Any) -> None:
         """Send one frame of this instance to every process, self included."""
         self.stack.broadcast_frame(self.path, mtype, payload)
+
+    def send_all_raw(self, mtype: int, raw) -> None:
+        """Broadcast a frame whose payload is already canonically encoded.
+
+        *raw* is spliced into the frame verbatim
+        (:func:`repro.core.wire.encode_frame_from_prefix_raw`), so the
+        bytes on the wire are identical to ``send_all(mtype,
+        decode_value(raw))`` -- this is how reliable broadcast relays
+        ECHO/READY payloads without a decode/re-encode round trip.  Only
+        pass validated regions (``Mbuf.raw_payload`` from the receive
+        path, or the output of :func:`~repro.core.wire.encode_value`).
+        """
+        self.stack.broadcast_frame_raw(self.path, mtype, raw)
 
     def input(self, mbuf: Mbuf) -> None:
         """Handle a frame addressed to this instance."""
@@ -366,6 +383,14 @@ class Stack:
         #: ``stack.clock`` after construction keep probation timing right.
         self.ledger = MisbehaviorLedger(config, clock=lambda: self.clock())
         self._registry: dict[Path, ControlBlock] = {}
+        # Demux fast path: raw encoded-path bytes -> control block, so
+        # inbound frames for live instances dispatch without decoding
+        # the path (see _receive_unit); plus the mirror cache on the
+        # send side, instance path -> encoded frame prefix.  Both are
+        # maintained by _register/_unregister, so they are bounded by
+        # the number of live instances.
+        self._demux: dict[bytes, ControlBlock] = {}
+        self._path_prefix: dict[Path, bytes] = {}
         self._ooc = OocTable(
             ooc_capacity if ooc_capacity is not None else config.ooc_capacity,
             peer_quota=config.ooc_peer_quota,
@@ -403,6 +428,11 @@ class Stack:
         if block.path in self._registry:
             raise ConfigurationError(f"duplicate instance path {block.path}")
         self._registry[block.path] = block
+        prefix = encode_frame_prefix(block.path)
+        self._path_prefix[block.path] = prefix
+        # The frame prefix past the 6 fixed header bytes is exactly the
+        # canonical path encoding -- the demux key inbound frames carry.
+        self._demux[prefix[6:]] = block
         parked = self._ooc.drain_prefix(block.path)
         if parked:
             self.stats.ooc_drained += len(parked)
@@ -429,6 +459,9 @@ class Stack:
 
     def _unregister(self, block: ControlBlock) -> None:
         self._registry.pop(block.path, None)
+        prefix = self._path_prefix.pop(block.path, None)
+        if prefix is not None:
+            self._demux.pop(prefix[6:], None)
         purged = self._ooc.purge_prefix(block.path)
         self.stats.ooc_purged += purged
 
@@ -548,7 +581,11 @@ class Stack:
     # -- data plane -----------------------------------------------------------------
 
     def send_frame(self, dest: int, path: Path, mtype: int, payload: Any) -> None:
-        data = encode_frame(path, mtype, payload)
+        prefix = self._path_prefix.get(path)
+        if prefix is not None:
+            data = encode_frame_from_prefix(prefix, mtype, payload)
+        else:
+            data = encode_frame(path, mtype, payload)
         self.stats.record_send(len(data))
         if self.tracer.enabled:
             self.tracer.emit(
@@ -563,7 +600,32 @@ class Stack:
         destination (the codec is canonical, so this matches what
         per-destination encoding would produce byte-for-byte).
         """
-        data = encode_frame(path, mtype, payload)
+        prefix = self._path_prefix.get(path)
+        if prefix is not None:
+            data = encode_frame_from_prefix(prefix, mtype, payload)
+        else:
+            data = encode_frame(path, mtype, payload)
+        size = len(data)
+        tracing = self.tracer.enabled
+        for dest in self.config.process_ids:
+            self.stats.record_send(size)
+            if tracing:
+                self.tracer.emit(
+                    self.process_id, KIND_SEND, path, dest=dest, mtype=mtype, size=size
+                )
+            self._emit(dest, data)
+
+    def broadcast_frame_raw(self, path: Path, mtype: int, raw) -> None:
+        """:meth:`broadcast_frame` for an already-encoded payload region.
+
+        Splices *raw* after the cached path prefix -- byte-identical to
+        the value-encoding path by canonicality, with the same
+        statistics and trace accounting.
+        """
+        prefix = self._path_prefix.get(path)
+        if prefix is None:
+            prefix = encode_frame_prefix(path)
+        data = encode_frame_from_prefix_raw(prefix, mtype, raw)
         size = len(data)
         tracing = self.tracer.enabled
         for dest in self.config.process_ids:
@@ -649,17 +711,24 @@ class Stack:
             if self.tracer.enabled:
                 self.tracer.emit(self.process_id, KIND_DROP, (), src=src, reason="quarantined")
             return
-        with self.coalesce():
+        # Inlined coalesce() window (the contextmanager shows up on
+        # profiles at one open/close per received unit).
+        self._coalesce_depth += 1
+        try:
             self._receive_unit(src, data, 0)
+        finally:
+            self._coalesce_depth -= 1
+            if self._coalesce_depth == 0 and self._pending_frames:
+                self._flush_pending_frames()
 
-    def _receive_unit(self, src: int, data: bytes, depth: int) -> None:
+    def _receive_unit(self, src: int, data, depth: int) -> None:
         if is_batch(data):
             if depth >= MAX_BATCH_DEPTH:
                 self.stats.record_drop("batch-too-deep")
                 self.report_misbehavior(src, "batch-too-deep")
                 return
             try:
-                frames = decode_batch(data)
+                frames = decode_batch_views(data)
             except WireFormatError:
                 self.stats.record_drop("malformed-batch")
                 self.report_misbehavior(src, "malformed-batch")
@@ -672,9 +741,39 @@ class Stack:
             for frame in frames:
                 self._receive_unit(src, frame, depth + 1)
             return
-        self.stats.record_receive(len(data))
+        size = len(data)
+        self.stats.record_receive(size)
+        # Fast path: a fully validated plain frame whose raw encoded
+        # path matches a live instance dispatches on the interned path
+        # bytes -- no path decode, no tuple allocation, no registry
+        # walk, and the payload stays encoded (lazy) because the region
+        # was validated.  The parse itself is memoized by frame bytes
+        # (frame_fastpath), so the n-1 repeat copies of a broadcast skip
+        # the walk entirely.  Anything else (unknown path, malformed
+        # frame) takes the validating slow path below, which behaves
+        # exactly like the original decoder.
+        parsed = frame_fastpath(data)
+        if parsed is not None:
+            block = self._demux.get(parsed[0])
+            if block is not None:
+                mtype = parsed[1]
+                path = block.path
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.process_id, KIND_RECEIVE, path, src=src, mtype=mtype, size=size
+                    )
+                mbuf = Mbuf.lazy(
+                    src,
+                    path,
+                    mtype,
+                    parsed[2],
+                    wire_size=size,
+                    recv_time=self.clock(),
+                )
+                self._input_guarded(block, mbuf)
+                return
         try:
-            path, mtype, payload = decode_frame(data)
+            path, mtype, payload, raw = decode_frame_ex(data)
         except WireFormatError:
             self.stats.record_drop("malformed-frame")
             self.report_misbehavior(src, "malformed-frame")
@@ -683,15 +782,16 @@ class Stack:
             return
         if self.tracer.enabled:
             self.tracer.emit(
-                self.process_id, KIND_RECEIVE, path, src=src, mtype=mtype, size=len(data)
+                self.process_id, KIND_RECEIVE, path, src=src, mtype=mtype, size=size
             )
         mbuf = Mbuf(
             src=src,
             path=path,
             mtype=mtype,
             payload=payload,
-            wire_size=len(data),
+            wire_size=size,
             recv_time=self.clock(),
+            raw_payload=raw,
         )
         self.route(mbuf)
 
@@ -720,6 +820,11 @@ class Stack:
                     self._input_guarded(instance, mbuf)
                     return
             break
+        # Parked mbufs may outlive the inbound channel buffer their raw
+        # payload slice aliases; materialize the payload (a no-op unless
+        # the mbuf is lazy) and drop the cache rather than pin it.
+        mbuf.payload
+        mbuf.raw_payload = None
         self._ooc.store(mbuf)
         self.stats.ooc_stored += 1
         self.stats.ooc_evicted = self._ooc.evictions
@@ -732,6 +837,13 @@ class Stack:
         except ProtocolViolationError:
             self.stats.record_drop("protocol-violation")
             self.report_misbehavior(mbuf.src, "protocol-violation")
+        except WireFormatError:
+            # Defense in depth: lazy payloads are validated at receive
+            # time, so a decode raising here means the validator and
+            # decoder disagree -- treat it like any malformed frame
+            # rather than letting it unwind the runtime.
+            self.stats.record_drop("malformed-frame")
+            self.report_misbehavior(mbuf.src, "malformed-frame")
 
     # -- randomness -------------------------------------------------------------------
 

@@ -23,6 +23,22 @@ Table 1 cost decomposition).
 Decoding is defensive: any malformed input raises
 :class:`~repro.core.errors.WireFormatError`, never an arbitrary Python
 exception, so corrupt peers cannot crash the stack.
+
+Hot-path notes (the per-frame CPU cost here is the fixed cost the
+paper's Table 1 decomposition says dominates LAN latency):
+
+- decoders accept any bytes-like object (``bytes``, ``bytearray``,
+  ``memoryview``), and :func:`decode_batch_views` splits a batch into
+  zero-copy :class:`memoryview` members so nested frames are decoded in
+  place, never re-materialized;
+- :func:`decode_frame_ex` also returns the *raw encoded payload* slice;
+  since the codec is canonical, those bytes are exactly what
+  ``encode_value(payload)`` would produce, so receivers can digest or
+  MAC a payload without re-encoding it;
+- the u32 length codec is a pre-compiled :class:`struct.Struct`, small
+  non-negative ints encode through a precomputed table, and
+  :func:`encode_frame_from_prefix` lets the stack reuse one encoded
+  path prefix per instance instead of re-encoding the path every send.
 """
 
 from __future__ import annotations
@@ -55,6 +71,17 @@ MAX_BATCH_FRAMES = 4096
 #: Batches nested inside batches beyond this depth are rejected.
 MAX_BATCH_DEPTH = 4
 
+_U32 = struct.Struct(">I")
+_pack_u32 = _U32.pack
+_unpack_u32_from = _U32.unpack_from
+
+#: Precomputed encodings of the small non-negative ints that dominate
+#: real traffic (path components, sequence numbers, vector indices).
+_SMALL_INT_ENC = tuple(
+    b"\x03" + _pack_u32(len(raw := i.to_bytes((i.bit_length() + 8) // 8 + 1, "big"))) + raw
+    for i in range(256)
+)
+
 
 def encode_value(value: Any) -> bytes:
     """Canonically encode a structured value."""
@@ -66,32 +93,59 @@ def encode_value(value: Any) -> bytes:
 def _encode_into(out: bytearray, value: Any, depth: int) -> None:
     if depth > _MAX_DEPTH:
         raise ValueError("value nesting too deep to encode")
-    if value is None:
+    cls = value.__class__
+    if cls is int:
+        if 0 <= value < 256:
+            out += _SMALL_INT_ENC[value]
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+            out.append(_T_INT)
+            out += _pack_u32(len(raw))
+            out += raw
+    elif cls is bytes:
+        out.append(_T_BYTES)
+        out += _pack_u32(len(value))
+        out += value
+    elif value is None:
         out.append(_T_NONE)
     elif value is True:
         out.append(_T_TRUE)
     elif value is False:
         out.append(_T_FALSE)
+    elif cls is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif cls is list or cls is tuple:
+        out.append(_T_LIST)
+        out += _pack_u32(len(value))
+        depth += 1
+        for item in value:
+            _encode_into(out, item, depth)
+    # Subclass / alternate-buffer fallbacks, in the seed's order so the
+    # accepted type set is unchanged (note bool is an int subclass but
+    # was matched by identity above).
     elif isinstance(value, int):
         raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
         out.append(_T_INT)
-        out += struct.pack(">I", len(raw))
+        out += _pack_u32(len(raw))
         out += raw
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
         out.append(_T_BYTES)
-        out += struct.pack(">I", len(raw))
-        out += raw
+        out += _pack_u32(len(value))
+        out += value
     elif isinstance(value, str):
         raw = value.encode("utf-8")
         out.append(_T_STR)
-        out += struct.pack(">I", len(raw))
+        out += _pack_u32(len(raw))
         out += raw
     elif isinstance(value, (list, tuple)):
         out.append(_T_LIST)
-        out += struct.pack(">I", len(value))
+        out += _pack_u32(len(value))
+        depth += 1
         for item in value:
-            _encode_into(out, item, depth + 1)
+            _encode_into(out, item, depth)
     else:
         raise TypeError(f"cannot encode value of type {type(value).__name__}")
 
@@ -103,16 +157,42 @@ def _encode_into(out: bytearray, value: Any, depth: int) -> None:
 _ENCODE_MEMO_MAX = 256
 _encode_memo: "OrderedDict[Any, bytes]" = OrderedDict()
 
+#: Structural-key budget: a memo *miss* must never cost more than the
+#: encode it failed to avoid, so keys stop at this many nodes / this
+#: much copied buffer and the value is simply encoded uncached.
+_MEMO_KEY_MAX_NODES = 64
+_MEMO_KEY_MAX_COPY = 4096
 
-def _memo_key(value: Any) -> Any:
+_UNCACHEABLE = object()
+
+
+def _memo_key(value: Any, _budget: list[int] | None = None) -> Any:
     """A hashable structural key that never conflates distinct encodings.
 
     The class is part of the key because ``True == 1`` and
-    ``hash(True) == hash(1)`` while their encodings differ.
+    ``hash(True) == hash(1)`` while their encodings differ.  Returns
+    :data:`_UNCACHEABLE` when building the key would exceed the size
+    budget (huge nested lists, big non-``bytes`` buffers): the caller
+    then skips the memo instead of paying more than an encode.
     """
+    if _budget is None:
+        _budget = [_MEMO_KEY_MAX_NODES]
+    _budget[0] -= 1
+    if _budget[0] < 0:
+        return _UNCACHEABLE
     if isinstance(value, (list, tuple)):
-        return (tuple, tuple(_memo_key(item) for item in value))
+        if len(value) > _budget[0]:
+            return _UNCACHEABLE
+        items = []
+        for item in value:
+            key = _memo_key(item, _budget)
+            if key is _UNCACHEABLE:
+                return _UNCACHEABLE
+            items.append(key)
+        return (tuple, tuple(items))
     if isinstance(value, (bytearray, memoryview)):
+        if len(value) > _MEMO_KEY_MAX_COPY:
+            return _UNCACHEABLE
         return (bytes, bytes(value))
     return (value.__class__, value)
 
@@ -122,10 +202,13 @@ def encode_value_cached(value: Any) -> bytes:
 
     Use on hot paths that repeatedly encode the same payload (digesting
     ECHO/READY votes, MAC verification).  Falls back to a plain encode
-    whenever the value cannot be keyed.
+    whenever the value cannot be keyed (unhashable, or over the
+    structural-key budget).
     """
     try:
         key = _memo_key(value)
+        if key is _UNCACHEABLE:
+            return encode_value(value)
         cached = _encode_memo.get(key)
     except TypeError:
         return encode_value(value)
@@ -147,6 +230,8 @@ def encode_memo_clear() -> None:
 def decode_value(data: bytes) -> Any:
     """Decode a value produced by :func:`encode_value`.
 
+    Accepts any bytes-like object.
+
     Raises:
         WireFormatError: on any malformed input, including trailing bytes.
     """
@@ -156,49 +241,235 @@ def decode_value(data: bytes) -> Any:
     return value
 
 
-def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
-    if depth > _MAX_DEPTH:
-        raise WireFormatError("value nesting too deep")
-    if offset >= len(data):
+def _decode_from(data, offset: int, depth: int) -> tuple[Any, int]:
+    size = len(data)
+    if offset >= size:
         raise WireFormatError("truncated value")
     tag = data[offset]
     offset += 1
+    if tag == _T_INT or tag == _T_BYTES or tag == _T_STR:
+        if offset + 4 > size:
+            raise WireFormatError("truncated length field")
+        (length,) = _unpack_u32_from(data, offset)
+        if length > _MAX_LEN:
+            raise WireFormatError(f"field length {length} exceeds cap")
+        offset += 4
+        end = offset + length
+        if end > size:
+            raise WireFormatError("truncated value body")
+        raw = data[offset:end]
+        if tag == _T_BYTES:
+            # bytes() of a bytes slice is identity; of a memoryview
+            # slice it is the single copy that materializes the leaf.
+            return bytes(raw), end
+        if tag == _T_INT:
+            if not length:
+                raise WireFormatError("empty int encoding")
+            return int.from_bytes(raw, "big", signed=True), end
+        try:
+            return str(raw, "utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("invalid utf-8 in string") from exc
+    if tag == _T_LIST:
+        if depth >= _MAX_DEPTH:
+            raise WireFormatError("value nesting too deep")
+        if offset + 4 > size:
+            raise WireFormatError("truncated length field")
+        (count,) = _unpack_u32_from(data, offset)
+        if count > _MAX_LEN:
+            raise WireFormatError(f"field length {count} exceeds cap")
+        offset += 4
+        items = []
+        append = items.append
+        depth += 1
+        for _ in range(count):
+            # Leaf members are decoded inline: most list members are
+            # leaves, and one recursive call per member dominates decode
+            # profiles otherwise.
+            if offset >= size:
+                raise WireFormatError("truncated value")
+            member_tag = data[offset]
+            if member_tag == _T_INT or member_tag == _T_BYTES or member_tag == _T_STR:
+                start = offset + 1
+                if start + 4 > size:
+                    raise WireFormatError("truncated length field")
+                (length,) = _unpack_u32_from(data, start)
+                if length > _MAX_LEN:
+                    raise WireFormatError(f"field length {length} exceeds cap")
+                start += 4
+                end = start + length
+                if end > size:
+                    raise WireFormatError("truncated value body")
+                raw = data[start:end]
+                if member_tag == _T_BYTES:
+                    append(bytes(raw))
+                elif member_tag == _T_INT:
+                    if not length:
+                        raise WireFormatError("empty int encoding")
+                    append(int.from_bytes(raw, "big", signed=True))
+                else:
+                    try:
+                        append(str(raw, "utf-8"))
+                    except UnicodeDecodeError as exc:
+                        raise WireFormatError("invalid utf-8 in string") from exc
+                offset = end
+            elif member_tag == _T_NONE:
+                append(None)
+                offset += 1
+            elif member_tag == _T_TRUE:
+                append(True)
+                offset += 1
+            elif member_tag == _T_FALSE:
+                append(False)
+                offset += 1
+            else:
+                item, offset = _decode_from(data, offset, depth)
+                append(item)
+        return items, offset
     if tag == _T_NONE:
         return None, offset
     if tag == _T_TRUE:
         return True, offset
     if tag == _T_FALSE:
         return False, offset
-    if tag in (_T_INT, _T_BYTES, _T_STR):
-        length, offset = _read_length(data, offset)
-        end = offset + length
-        if end > len(data):
-            raise WireFormatError("truncated value body")
-        raw = data[offset:end]
-        if tag == _T_INT:
-            if not raw:
-                raise WireFormatError("empty int encoding")
-            return int.from_bytes(raw, "big", signed=True), end
-        if tag == _T_BYTES:
-            return raw, end
-        try:
-            return raw.decode("utf-8"), end
-        except UnicodeDecodeError as exc:
-            raise WireFormatError("invalid utf-8 in string") from exc
-    if tag == _T_LIST:
-        count, offset = _read_length(data, offset)
-        items = []
-        for _ in range(count):
-            item, offset = _decode_from(data, offset, depth + 1)
-            items.append(item)
-        return items, offset
     raise WireFormatError(f"unknown value tag 0x{tag:02x}")
 
 
-def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+def _skip_value(data, offset: int) -> int:
+    """Return the offset one past the encoded value at *offset*.
+
+    Iterative (a pending-node counter instead of recursion), touching
+    only tags and length fields -- the skeleton walk behind the interned
+    demux key and :func:`peek_path`.
+    """
+    size = len(data)
+    remaining = 1
+    while remaining:
+        if offset >= size:
+            raise WireFormatError("truncated value")
+        tag = data[offset]
+        offset += 1
+        remaining -= 1
+        if tag <= _T_TRUE:  # NONE / FALSE / TRUE: tag only
+            continue
+        if offset + 4 > size:
+            raise WireFormatError("truncated length field")
+        (length,) = _unpack_u32_from(data, offset)
+        if length > _MAX_LEN:
+            raise WireFormatError(f"field length {length} exceeds cap")
+        offset += 4
+        if tag == _T_LIST:
+            remaining += length
+        elif tag == _T_INT or tag == _T_BYTES or tag == _T_STR:
+            offset += length
+        else:
+            raise WireFormatError(f"unknown value tag 0x{tag:02x}")
+    if offset > size:
+        raise WireFormatError("truncated value body")
+    return offset
+
+
+def _validate_value(data, offset: int) -> int:
+    """Validate the encoded value at *offset* without building objects.
+
+    Enforces exactly the checks :func:`_decode_from` applies at the
+    frame-payload depth (the payload is element 3 of the outer frame
+    list, i.e. depth 1): tags, length caps, truncation, nesting depth,
+    utf-8 in strings, non-empty ints.  Returns the end offset.
+
+    The point of the exact match is the contract the lazy
+    :class:`~repro.core.mbuf.Mbuf` payload relies on: once a region
+    validates, decoding it cannot fail.  Weaker validation here would
+    let a Byzantine sender craft a payload that relays cleanly but
+    blows up when some later hop finally decodes it -- and that hop
+    would charge the *relay* with misbehavior.
+    """
+    return _validate_from(data, offset, 1)
+
+
+def _validate_from(data, offset: int, depth: int) -> int:
+    """Recursive body of :func:`_validate_value` -- the same shape as
+    :func:`_decode_from` (inline leaf handling, recursion only for
+    nested lists) so the two traversals accept exactly the same inputs,
+    just without building any objects."""
+    size = len(data)
+    if offset >= size:
+        raise WireFormatError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag <= _T_TRUE:  # NONE / FALSE / TRUE: tag only
+        return offset
+    if offset + 4 > size:
+        raise WireFormatError("truncated length field")
+    (length,) = _unpack_u32_from(data, offset)
+    if length > _MAX_LEN:
+        raise WireFormatError(f"field length {length} exceeds cap")
+    offset += 4
+    if tag == _T_BYTES:
+        end = offset + length
+        if end > size:
+            raise WireFormatError("truncated value body")
+        return end
+    if tag == _T_INT:
+        if not length:
+            raise WireFormatError("empty int encoding")
+        end = offset + length
+        if end > size:
+            raise WireFormatError("truncated value body")
+        return end
+    if tag == _T_STR:
+        end = offset + length
+        if end > size:
+            raise WireFormatError("truncated value body")
+        try:
+            str(data[offset:end], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("invalid utf-8 in string") from exc
+        return end
+    if tag == _T_LIST:
+        if depth >= _MAX_DEPTH:
+            raise WireFormatError("value nesting too deep")
+        depth += 1
+        for _ in range(length):
+            if offset >= size:
+                raise WireFormatError("truncated value")
+            member_tag = data[offset]
+            if (
+                member_tag == _T_INT
+                or member_tag == _T_BYTES
+                or member_tag == _T_STR
+            ):
+                start = offset + 1
+                if start + 4 > size:
+                    raise WireFormatError("truncated length field")
+                (member_len,) = _unpack_u32_from(data, start)
+                if member_len > _MAX_LEN:
+                    raise WireFormatError(f"field length {member_len} exceeds cap")
+                start += 4
+                end = start + member_len
+                if end > size:
+                    raise WireFormatError("truncated value body")
+                if member_tag == _T_INT:
+                    if not member_len:
+                        raise WireFormatError("empty int encoding")
+                elif member_tag == _T_STR:
+                    try:
+                        str(data[start:end], "utf-8")
+                    except UnicodeDecodeError as exc:
+                        raise WireFormatError("invalid utf-8 in string") from exc
+                offset = end
+            elif member_tag <= _T_TRUE:
+                offset += 1
+            else:
+                offset = _validate_from(data, offset, depth)
+        return offset
+    raise WireFormatError(f"unknown value tag 0x{tag:02x}")
+
+
+def _read_length(data, offset: int) -> tuple[int, int]:
     if offset + 4 > len(data):
         raise WireFormatError("truncated length field")
-    (length,) = struct.unpack_from(">I", data, offset)
+    (length,) = _unpack_u32_from(data, offset)
     if length > _MAX_LEN:
         raise WireFormatError(f"field length {length} exceeds cap")
     return length, offset + 4
@@ -209,26 +480,86 @@ def _read_length(data: bytes, offset: int) -> tuple[int, int]:
 PathComponent = int | str
 Path = tuple[PathComponent, ...]
 
+#: ``FRAME_VERSION`` byte followed by the outer 3-element list header --
+#: every well-formed plain frame starts with these 6 bytes.
+_FRAME_HEAD = bytes([FRAME_VERSION, _T_LIST]) + _pack_u32(3)
+
 
 def encode_frame(path: Path, mtype: int, payload: Any) -> bytes:
     """Encode one protocol frame (path + message type + payload)."""
+    return encode_frame_from_prefix(encode_frame_prefix(path), mtype, payload)
+
+
+def encode_frame_prefix(path: Path) -> bytes:
+    """The constant leading bytes of every frame of one instance.
+
+    Concatenating this with the encodings of ``mtype`` and ``payload``
+    is byte-identical to :func:`encode_frame`; the stack caches one
+    prefix per live instance so the path is encoded once, not per send.
+    """
+    out = bytearray(_FRAME_HEAD)
+    _encode_into(out, list(path), 1)
+    return bytes(out)
+
+
+def encode_frame_from_prefix(prefix: bytes, mtype: int, payload: Any) -> bytes:
+    """Encode a frame from a precomputed :func:`encode_frame_prefix`."""
     if not 0 <= mtype <= 0xFF:
         raise ValueError(f"mtype {mtype} out of range")
-    body = encode_value([list(path), mtype, payload])
-    return bytes([FRAME_VERSION]) + body
+    out = bytearray(prefix)
+    out += _SMALL_INT_ENC[mtype]
+    _encode_into(out, payload, 1)
+    return bytes(out)
 
 
-def decode_frame(data: bytes) -> tuple[Path, int, Any]:
+def frame_path_key(data) -> bytes | None:
+    """The raw encoded-path bytes of a plain frame, or ``None``.
+
+    Equal to ``encode_value(list(path))`` by canonicality, so it is a
+    ready-made demux key: the stack interns one per live instance and
+    dispatches frames without decoding the path into Python objects.
+    ``None`` means "not a plain frame with a well-formed path skeleton"
+    -- callers fall back to the full (validating) decode.
+    """
+    if len(data) < 7 or data[0] != FRAME_VERSION or data[1] != _T_LIST:
+        return None
+    (count,) = _unpack_u32_from(data, 2)
+    if count != 3 or data[6] != _T_LIST:
+        return None
+    try:
+        end = _skip_value(data, 6)
+    except WireFormatError:
+        return None
+    return bytes(data[6:end])
+
+
+def decode_frame(data) -> tuple[Path, int, Any]:
     """Decode a frame into ``(path, mtype, payload)``.
 
     Raises:
         WireFormatError: malformed frame or unsupported version.
     """
-    if not data:
+    path, mtype, payload, _raw = decode_frame_ex(data)
+    return path, mtype, payload
+
+
+def decode_frame_ex(data) -> tuple[Path, int, Any, Any]:
+    """:func:`decode_frame` plus the raw encoded-payload slice.
+
+    Returns ``(path, mtype, payload, raw_payload)`` where
+    ``raw_payload`` is the bytes-like region of *data* holding the
+    encoded payload -- by canonicality, exactly
+    ``encode_value(payload)``.  Receivers digest / MAC payloads from it
+    without re-encoding (a :class:`memoryview` input yields a zero-copy
+    slice that stays valid only while the backing buffer does).
+    """
+    if not len(data):
         raise WireFormatError("empty frame")
     if data[0] != FRAME_VERSION:
         raise WireFormatError(f"unsupported frame version {data[0]}")
-    decoded = decode_value(data[1:])
+    decoded, end = _decode_from(data, 1, 0)
+    if end != len(data):
+        raise WireFormatError("trailing bytes after encoded value")
     if not isinstance(decoded, list) or len(decoded) != 3:
         raise WireFormatError("frame body is not a 3-element list")
     raw_path, mtype, payload = decoded
@@ -241,7 +572,129 @@ def decode_frame(data: bytes) -> tuple[Path, int, Any]:
         if not isinstance(component, (int, str)) or isinstance(component, bool):
             raise WireFormatError("path components must be ints or strings")
         path.append(component)
-    return tuple(path), mtype, payload
+    # The payload is the third element of the outer list: it ends where
+    # the frame ends, and starts right after the path and mtype fields.
+    try:
+        payload_start = _skip_value(data, _skip_value(data, 6))
+    except WireFormatError as exc:  # pragma: no cover - decoded above
+        raise WireFormatError("malformed frame header") from exc
+    return tuple(path), mtype, payload, data[payload_start:end]
+
+
+def decode_frame_tail(data, offset: int) -> tuple[int, Any, Any]:
+    """Decode ``(mtype, payload, raw_payload)`` of a plain frame whose
+    encoded path ends at *offset* (i.e. ``6 + len(frame_path_key())``).
+
+    The demux fast path pairs this with :func:`frame_path_key`: the
+    interned key already identified the instance, so only the remainder
+    of the frame is decoded.
+
+    Raises:
+        WireFormatError: malformed tail, non-int mtype, trailing bytes.
+    """
+    mtype, payload_start = _decode_from(data, offset, 1)
+    if not isinstance(mtype, int) or not 0 <= mtype <= 0xFF:
+        raise WireFormatError("malformed frame mtype")
+    payload, end = _decode_from(data, payload_start, 1)
+    if end != len(data):
+        raise WireFormatError("trailing bytes after encoded value")
+    return mtype, payload, data[payload_start:end]
+
+
+def decode_frame_tail_lazy(data, offset: int) -> tuple[int, Any]:
+    """Validating variant of :func:`decode_frame_tail` that leaves the
+    payload encoded.
+
+    Returns ``(mtype, raw_payload)``.  The payload region is fully
+    validated (:func:`_validate_value`) but not materialized into Python
+    objects -- decoding it later is guaranteed to succeed, so an
+    :class:`~repro.core.mbuf.Mbuf` built from it can defer the decode
+    until (unless) somebody reads ``.payload``.
+
+    Raises:
+        WireFormatError: exactly when :func:`decode_frame_tail` would.
+    """
+    mtype, payload_start = _decode_from(data, offset, 1)
+    if not isinstance(mtype, int) or not 0 <= mtype <= 0xFF:
+        raise WireFormatError("malformed frame mtype")
+    end = _validate_value(data, payload_start)
+    if end != len(data):
+        raise WireFormatError("trailing bytes after encoded value")
+    return mtype, data[payload_start:end]
+
+
+# Content-addressed parse memo for the demux fast path.  A broadcast
+# hands the *identical* frame bytes to every destination, and in-process
+# runs (the simulator, tests) deliver them to n stacks -- so the same
+# frame is parsed and validated n times.  Keying by the full frame bytes
+# makes the memo trivially sound (equal bytes parse identically) and
+# unpoisonable (the key IS the attacker-controlled input).  Entries are
+# ``(path_key, mtype, raw_payload)`` for a fully validated plain frame,
+# or ``None`` for anything else -- callers fall back to the validating
+# slow path, which reproduces the unmemoized behavior exactly.
+_FASTPATH_MEMO_MAX = 1024
+_fastpath_memo: "OrderedDict[bytes, tuple[bytes, int, bytes] | None]" = OrderedDict()
+_MEMO_MISS = object()
+
+
+def frame_fastpath(data) -> tuple[bytes, int, bytes] | None:
+    """Parse-and-validate a plain frame, memoized by its bytes.
+
+    Returns ``(path_key, mtype, raw_payload)`` -- the interned demux key
+    (:func:`frame_path_key`), the message type, and the *validated*
+    canonical payload encoding (decoding it cannot fail, see
+    :func:`_validate_value`) -- or ``None`` when *data* is not a fully
+    well-formed plain frame (batches, malformed input, frames the
+    validating slow path must judge).
+
+    Repeat frames (the other n-1 copies of a broadcast, re-deliveries
+    in multi-stack processes) hit the memo and skip the whole walk; the
+    returned ``raw_payload`` is then the *same* bytes object every time,
+    so downstream digest caches keyed on it amortize too.
+    """
+    frame = data if type(data) is bytes else bytes(data)
+    memo = _fastpath_memo
+    hit = memo.get(frame, _MEMO_MISS)
+    if hit is not _MEMO_MISS:
+        return hit
+    result = None
+    key = frame_path_key(frame)
+    if key is not None:
+        try:
+            mtype, payload_start = _decode_from(frame, 6 + len(key), 1)
+            if isinstance(mtype, int) and 0 <= mtype <= 0xFF:
+                end = _validate_value(frame, payload_start)
+                if end == len(frame):
+                    result = (key, mtype, frame[payload_start:])
+        except WireFormatError:
+            result = None
+    memo[frame] = result
+    if len(memo) > _FASTPATH_MEMO_MAX:
+        memo.popitem(last=False)
+    return result
+
+
+def fastpath_memo_clear() -> None:
+    """Drop all memoized frame parses (test isolation hook)."""
+    _fastpath_memo.clear()
+
+
+def encode_frame_from_prefix_raw(prefix: bytes, mtype: int, raw) -> bytes:
+    """Splice a frame from a prefix and an *already encoded* payload.
+
+    By canonicality the result is byte-identical to
+    ``encode_frame_from_prefix(prefix, mtype, decode_value(raw))`` --
+    this is how a receiver relays a payload (reliable broadcast's
+    ECHO/READY amplification) without ever decoding it.  *raw* must be a
+    validated encoded-value region (e.g. ``Mbuf.raw_payload`` from the
+    receive path); it is spliced verbatim.
+    """
+    if not 0 <= mtype <= 0xFF:
+        raise ValueError(f"mtype {mtype} out of range")
+    out = bytearray(prefix)
+    out += _SMALL_INT_ENC[mtype]
+    out += raw
+    return bytes(out)
 
 
 # -- batch containers ---------------------------------------------------------
@@ -258,9 +711,9 @@ def decode_frame(data: bytes) -> tuple[Path, int, Any]:
 # MAX_BATCH_DEPTH.
 
 
-def is_batch(data: bytes) -> bool:
+def is_batch(data) -> bool:
     """True if *data* is a batch container rather than a plain frame."""
-    return bool(data) and data[0] == _T_BATCH
+    return bool(len(data)) and data[0] == _T_BATCH
 
 
 def encode_batch(frames: Sequence[bytes]) -> bytes:
@@ -269,48 +722,67 @@ def encode_batch(frames: Sequence[bytes]) -> bytes:
         raise ValueError("cannot encode an empty batch")
     if len(frames) > MAX_BATCH_FRAMES:
         raise ValueError(f"batch of {len(frames)} exceeds cap {MAX_BATCH_FRAMES}")
-    out = bytearray([_T_BATCH])
-    out += struct.pack(">I", len(frames))
+    out = bytearray(b"\x42")
+    out += _pack_u32(len(frames))
     for frame in frames:
-        if not frame:
+        size = len(frame)
+        if not size:
             raise ValueError("cannot batch an empty frame")
-        if len(frame) > _MAX_LEN:
-            raise ValueError(f"frame of {len(frame)} bytes exceeds cap")
-        out += struct.pack(">I", len(frame))
+        if size > _MAX_LEN:
+            raise ValueError(f"frame of {size} bytes exceeds cap")
+        out += _pack_u32(size)
         out += frame
     return bytes(out)
 
 
-def decode_batch(data: bytes) -> list[bytes]:
-    """Split a batch container back into its channel units.
+def decode_batch(data) -> list[bytes]:
+    """Split a batch container back into its channel units (as copies).
 
     Raises:
         WireFormatError: not a batch, malformed lengths, an empty or
             over-cap member, a count over :data:`MAX_BATCH_FRAMES`, or
             trailing bytes.
     """
+    return [bytes(member) for member in decode_batch_views(data)]
+
+
+def decode_batch_views(data) -> list[memoryview]:
+    """Split a batch container into zero-copy :class:`memoryview` members.
+
+    The views alias *data*: no member is re-materialized, so receivers
+    decode nested frames straight out of the container buffer.  Each
+    view stays valid only while *data* does.  Validation is identical
+    to :func:`decode_batch`.
+    """
     if not is_batch(data):
         raise WireFormatError("not a batch container")
-    offset = 1
-    if offset + 4 > len(data):
+    view = data if type(data) is memoryview else memoryview(data)
+    size = len(view)
+    if size < 5:
         raise WireFormatError("truncated batch count")
-    (count,) = struct.unpack_from(">I", data, offset)
-    offset += 4
+    (count,) = _unpack_u32_from(view, 1)
     if count == 0:
         raise WireFormatError("empty batch")
     if count > MAX_BATCH_FRAMES:
         raise WireFormatError(f"batch count {count} exceeds cap {MAX_BATCH_FRAMES}")
-    frames: list[bytes] = []
+    offset = 5
+    frames: list[memoryview] = []
+    append = frames.append
     for _ in range(count):
-        length, offset = _read_length(data, offset)
+        if offset + 4 > size:
+            raise WireFormatError("truncated length field")
+        (length,) = _unpack_u32_from(view, offset)
+        if length > _MAX_LEN:
+            raise WireFormatError(f"field length {length} exceeds cap")
         if length == 0:
             raise WireFormatError("empty frame in batch")
+        offset += 4
         end = offset + length
-        if end > len(data):
+        if end > size:
             raise WireFormatError("truncated frame in batch")
-        frames.append(data[offset:end])
+        append(view[offset:end])
         offset = end
-    if offset != len(data):
+    if offset != size:
         raise WireFormatError("trailing bytes after batch")
     return frames
 
@@ -342,7 +814,7 @@ _AGREEMENT_COMPONENTS = frozenset({"vect", "mvc", "bc", "vc"})
 _BULK_HEADS = frozenset({"rec", "ckpt"})
 
 
-def peek_path(data: bytes) -> Path | None:
+def peek_path(data) -> Path | None:
     """Extract a plain frame's path without decoding its payload.
 
     Returns ``None`` for batches, malformed frames, or anything else
@@ -351,7 +823,7 @@ def peek_path(data: bytes) -> Path | None:
     """
     if len(data) < 6 or data[0] != FRAME_VERSION or data[1] != _T_LIST:
         return None
-    (count,) = struct.unpack_from(">I", data, 2)
+    (count,) = _unpack_u32_from(data, 2)
     if count != 3:
         return None
     try:
@@ -368,25 +840,35 @@ def peek_path(data: bytes) -> Path | None:
     return tuple(path)
 
 
-def frame_priority(data: bytes, _depth: int = 0) -> int:
+def frame_priority(data, _depth: int = 0) -> int:
     """Shedding priority of one channel unit (higher survives longer).
 
     Batches take the highest priority of their members, so coalescing
     never demotes an agreement vote riding with payload frames.
+    Members are walked as zero-copy views with an early exit once the
+    maximum class is reached.
     """
     if is_batch(data):
         if _depth >= MAX_BATCH_DEPTH:
             return PRIORITY_BULK
         try:
-            members = decode_batch(data)
+            members = decode_batch_views(data)
         except WireFormatError:
             return PRIORITY_BULK
-        return max(frame_priority(member, _depth + 1) for member in members)
+        best = PRIORITY_BULK
+        for member in members:
+            priority = frame_priority(member, _depth + 1)
+            if priority == PRIORITY_AGREEMENT:
+                return PRIORITY_AGREEMENT
+            if priority > best:
+                best = priority
+        return best
     path = peek_path(data)
     if path is None:
         return PRIORITY_BULK
     if path and path[0] in _BULK_HEADS:
         return PRIORITY_BULK
-    if any(component in _AGREEMENT_COMPONENTS for component in path):
-        return PRIORITY_AGREEMENT
+    for component in path:
+        if component in _AGREEMENT_COMPONENTS:
+            return PRIORITY_AGREEMENT
     return PRIORITY_PAYLOAD

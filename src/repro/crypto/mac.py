@@ -4,13 +4,24 @@ The paper replaces Reiter's digital signatures with *vectors of hashes*:
 process ``p_i`` authenticates message ``m`` towards every peer ``j`` by
 computing ``V_i[j] = H(m, s_ij)`` -- "a simple and efficient form of
 Message Authentication Code" (Section 2.3).
+
+Hot-path note: with ``H`` built as in :mod:`repro.crypto.hashing`
+(length-prefixed parts into one SHA-256), every entry of a vector hashes
+the *same* message prefix followed by a different key tail.  The vector
+builder therefore absorbs the message once and forks the hash state per
+peer with ``.copy()`` -- output bytes identical to calling :func:`mac`
+per peer, but the message is only compressed once per vector instead of
+once per entry.  The 4-byte length prefix of each peer key is likewise
+precomputed once per keystore.
 """
 
 from __future__ import annotations
 
+import hashlib
 import hmac
+import weakref
 
-from repro.crypto.hashing import hash_bytes
+from repro.crypto.hashing import HASH_LEN, hash_bytes
 from repro.crypto.keys import KeyStore
 
 
@@ -24,6 +35,35 @@ def verify_mac(message: bytes, key: bytes, tag: bytes) -> bool:
     return hmac.compare_digest(mac(message, key), tag)
 
 
+#: Per-keystore cache of ``(peers, [len(key) || key, ...])`` -- the
+#: constant per-peer suffix each vector entry hashes after the message.
+#: Weak so dropping a keystore drops its cached key material too.
+_KEY_TAILS: "weakref.WeakKeyDictionary[KeyStore, tuple[list[int], list[bytes]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _key_tails(keystore: KeyStore) -> tuple[list[int], list[bytes]]:
+    cached = _KEY_TAILS.get(keystore)
+    if cached is None:
+        peers = keystore.peers
+        tails = [
+            len(key).to_bytes(4, "big") + key
+            for key in (keystore.key_for(j) for j in peers)
+        ]
+        cached = (peers, tails)
+        _KEY_TAILS[keystore] = cached
+    return cached
+
+
+def _message_state(message) -> "hashlib._Hash":
+    """SHA-256 state that has absorbed the length-prefixed message."""
+    state = hashlib.sha256()
+    state.update(len(message).to_bytes(4, "big"))
+    state.update(message)
+    return state
+
+
 def mac_vector(message: bytes, keystore: KeyStore) -> list[bytes]:
     """Build the vector ``V_i`` with ``V_i[j] = H(m, s_ij)`` for every peer.
 
@@ -31,4 +71,30 @@ def mac_vector(message: bytes, keystore: KeyStore) -> list[bytes]:
     including the entry for the local process itself (the sender verifies
     its own row when assembling the matrix).
     """
-    return [mac(message, keystore.key_for(j)) for j in keystore.peers]
+    prefix = _message_state(message)
+    vector = []
+    append = vector.append
+    for tail in _key_tails(keystore)[1]:
+        state = prefix.copy()
+        state.update(tail)
+        append(state.digest()[:HASH_LEN])
+    return vector
+
+
+def verify_mac_batch(message: bytes, checks: list[tuple[bytes, bytes]]) -> list[bool]:
+    """Verify many ``(key, tag)`` pairs against one *message* at once.
+
+    Equivalent to ``[verify_mac(message, k, t) for k, t in checks]`` but
+    the message is absorbed into the hash state once and forked per
+    check -- the batched form of the same key-schedule reuse
+    :func:`mac_vector` does on the build side.
+    """
+    prefix = _message_state(message)
+    results = []
+    append = results.append
+    for key, tag in checks:
+        state = prefix.copy()
+        state.update(len(key).to_bytes(4, "big"))
+        state.update(key)
+        append(hmac.compare_digest(state.digest()[:HASH_LEN], tag))
+    return results

@@ -104,20 +104,30 @@ class EventLoop:
         """
         if until is not None and until():
             return "until"
-        processed = 0
-        while self._heap:
-            if max_events is not None and processed >= max_events:
+        # Tight loop: locals for the heap and heappop, and one pop per
+        # event -- an over-horizon event is pushed back unchanged
+        # instead of being peeked every iteration.  events_processed is
+        # bumped per event, *before* the hooks run: on_event/until
+        # callbacks (the invariant checker) read it as the index of the
+        # event that just executed.
+        heap = self._heap
+        pop = heapq.heappop
+        remaining = -1 if max_events is None else max_events
+        while heap:
+            if remaining == 0:
                 return "max_events"
-            time, _, _, fn, args = self._heap[0]
+            event = pop(heap)
+            time = event[0]
             if time > max_time:
+                heapq.heappush(heap, event)
                 return "max_time"
-            heapq.heappop(self._heap)
             self._now = time
-            fn(*args)
-            processed += 1
+            event[3](*event[4])
             self.events_processed += 1
-            if self.on_event is not None:
-                self.on_event()
+            remaining -= 1
+            on_event = self.on_event
+            if on_event is not None:
+                on_event()
             if until is not None and until():
                 return "until"
         return "idle"

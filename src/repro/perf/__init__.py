@@ -1,0 +1,45 @@
+"""The persistent performance trajectory (``python -m repro.perf``).
+
+Speed work across PRs is only credible against a fixed measurement: this
+package drives the existing benchmarks in a calibrated, deterministic
+configuration and emits ``BENCH_core.json`` at the repo root, one entry
+per PR, so the trajectory persists in version control instead of in
+someone's terminal scrollback.
+
+Four areas are measured (see :mod:`repro.perf.bench`):
+
+- ``wire``   -- codec encode/decode ops/sec on representative frames;
+- ``mac``    -- MAC-vector builds and authenticated-channel frame
+  verifies per second, batched and unbatched;
+- ``sim``    -- the discrete-event simulator driving a failure-free n=4
+  atomic-broadcast burst: events/sec and delivered msgs/sec in *wall*
+  time, plus the simulated-time throughput and per-message delivery
+  latency quantiles from the obs histograms;
+- ``tcp``    -- the asyncio runtime on loopback sockets: delivered
+  msgs/sec in wall time plus delivery-latency quantiles.
+
+Workloads are seeded and fixed per schema version; wall-clock numbers
+move with the host, so the trajectory is read as *ratios between
+commits measured on the same machine* (CI re-measures both sides when
+it compares).  See ``docs/PERF.md`` for the schema and how to read it.
+"""
+
+from __future__ import annotations
+
+from repro.perf.bench import (
+    AREAS,
+    SCHEMA,
+    load_report,
+    run_all,
+    speedups,
+    write_report,
+)
+
+__all__ = [
+    "AREAS",
+    "SCHEMA",
+    "load_report",
+    "run_all",
+    "speedups",
+    "write_report",
+]

@@ -1,0 +1,107 @@
+"""CLI: run the perf areas and write one ``BENCH_core.json`` entry.
+
+Examples::
+
+    python -m repro.perf                       # full run -> BENCH_core.json
+    python -m repro.perf --quick               # CI-sized run
+    python -m repro.perf --area wire --area sim --out /tmp/b.json
+    python -m repro.perf --baseline BENCH_core.json --warn-threshold 0.10
+
+With ``--baseline`` the previous entry is embedded in the new report and
+per-metric speedups are printed; rate metrics that regressed more than
+``--warn-threshold`` produce a warning.  Warnings never change the exit
+code unless ``--strict`` is given -- the trajectory is a measurement,
+not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any
+
+from repro.perf.bench import AREAS, load_report, run_all, speedups, write_report
+
+
+def _print_report(report: dict[str, Any]) -> None:
+    print(f"perf trajectory entry  sha={report['git_sha']}  date={report['date']}")
+    for area, metrics in report["areas"].items():
+        print(f"  [{area}]")
+        for name, value in sorted(metrics.items()):
+            # "_s" marks seconds (latency quantiles); rate metrics like
+            # ab_throughput_msgs_s merely end in a unit denominator.
+            if name.endswith("_s") and not name.endswith("_msgs_s"):
+                print(f"    {name:32s} {value * 1e6:14.1f} us")
+            else:
+                print(f"    {name:32s} {value:14.1f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized workloads (smaller bursts)"
+    )
+    parser.add_argument(
+        "--area",
+        action="append",
+        choices=AREAS,
+        help="run only this area (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        help="where to write the trajectory entry (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous entry to embed and compare against (a BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--warn-threshold",
+        type=float,
+        default=0.10,
+        help="warn when a rate metric regresses by more than this fraction "
+        "vs the baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any regression warning (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_all(quick=args.quick, areas=tuple(args.area) if args.area else None)
+    regressed = []
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_report(args.baseline)
+        report["baseline"] = {
+            "git_sha": baseline.get("git_sha", "unknown"),
+            "date": baseline.get("date", "unknown"),
+            "quick": baseline.get("quick", False),
+            "areas": baseline.get("areas", {}),
+        }
+        report["speedup"] = speedups(report, baseline)
+        for metric, ratio in sorted(report["speedup"].items()):
+            print(f"  speedup {metric:40s} {ratio:6.2f}x")
+            if ratio < 1.0 - args.warn_threshold:
+                regressed.append((metric, ratio))
+    _print_report(report)
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    for metric, ratio in regressed:
+        print(
+            f"WARNING: {metric} regressed to {ratio:.2f}x of the baseline "
+            f"(threshold {1.0 - args.warn_threshold:.2f}x)",
+            file=sys.stderr,
+        )
+    if regressed and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

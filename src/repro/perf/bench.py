@@ -1,0 +1,353 @@
+"""Area benchmarks behind ``python -m repro.perf``.
+
+Every workload here is fixed -- sizes, seeds, message bytes are part of
+the schema version -- so two runs of the same schema on the same host
+are comparable.  Wall-clock numbers are best-of-``repeats`` to shave
+scheduler noise; the simulated-time numbers (``ab_throughput``, the
+latency quantiles) are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import time
+from typing import Any, Callable
+
+from repro.core.config import GroupConfig
+from repro.core.wire import (
+    decode_batch,
+    decode_frame,
+    encode_batch,
+    encode_frame,
+    encode_memo_clear,
+    fastpath_memo_clear,
+)
+from repro.crypto.keys import TrustedDealer
+from repro.crypto.mac import mac_vector
+from repro.eval.atomic_burst import run_burst
+from repro.net.network import LanSimulation
+from repro.obs.metrics import Histogram
+from repro.transport.framing import FrameCodec
+from repro.transport.tcp import PeerAddress, RitasNode
+
+SCHEMA = "repro.perf/v1"
+AREAS = ("wire", "mac", "sim", "tcp")
+
+#: Histogram every runtime records per-message AB delivery latency into.
+_AB_LATENCY = "ritas_ab_delivery_latency_seconds"
+
+#: A path shaped like the deep agreement paths the stack routes all day:
+#: an AB round's vector consensus chaining down to binary consensus.
+_PERF_PATH = ("perf", "vect", 3, "mvc", "bc")
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:
+        return "unknown"
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    """Smallest wall time returned by *fn* over *repeats* runs."""
+    return min(fn() for _ in range(repeats))
+
+
+# -- wire --------------------------------------------------------------------
+
+
+def bench_wire(quick: bool) -> dict[str, float]:
+    """Codec ops/sec on one agreement-shaped frame and a 16-frame batch."""
+    iterations = 4_000 if quick else 20_000
+    payload = [7, list(range(4)), bytes(100)]
+    frame = encode_frame(_PERF_PATH, 1, payload)
+    batch = encode_batch([frame] * 16)
+    encode_memo_clear()
+    fastpath_memo_clear()
+
+    def encode_pass() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            encode_frame(_PERF_PATH, 1, payload)
+        return time.perf_counter() - start
+
+    def decode_pass() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            decode_frame(frame)
+        return time.perf_counter() - start
+
+    def batch_pass() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations // 16):
+            for member in decode_batch(batch):
+                decode_frame(member)
+        return time.perf_counter() - start
+
+    repeats = 2 if quick else 3
+    encode_s = _best_of(repeats, encode_pass)
+    decode_s = _best_of(repeats, decode_pass)
+    batch_s = _best_of(repeats, batch_pass)
+    batch_frames = (iterations // 16) * 16
+    return {
+        "encode_ops_per_sec": iterations / encode_s,
+        "decode_ops_per_sec": iterations / decode_s,
+        "batch_decode_frames_per_sec": batch_frames / batch_s,
+    }
+
+
+# -- mac ---------------------------------------------------------------------
+
+
+def bench_mac(quick: bool) -> dict[str, float]:
+    """MAC-vector builds and authenticated-channel verifies per second."""
+    iterations = 2_000 if quick else 10_000
+    dealer = TrustedDealer(4, seed=b"repro-perf")
+    keystore = dealer.keystore_for(0)
+    message = bytes(100)
+
+    def vector_pass() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            mac_vector(message, keystore)
+        return time.perf_counter() - start
+
+    # One peer link: sender codec encodes, receiver codec verifies --
+    # the per-frame HMAC work both TCP directions pay.
+    key = keystore.key_for(1)
+    frame = encode_frame(_PERF_PATH, 1, [7, bytes(100)])
+    sender = FrameCodec(key, 0)
+    wire = [sender.encode(frame)[4:] for _ in range(iterations)]
+
+    def verify_pass() -> float:
+        receiver = FrameCodec(key, 0)
+        start = time.perf_counter()
+        for body in wire:
+            receiver.decode(body)
+        return time.perf_counter() - start
+
+    repeats = 2 if quick else 3
+    vector_s = _best_of(repeats, vector_pass)
+    verify_s = _best_of(repeats, verify_pass)
+    return {
+        "mac_vector_per_sec": iterations / vector_s,
+        "channel_verify_per_sec": iterations / verify_s,
+    }
+
+
+# -- sim ---------------------------------------------------------------------
+
+
+def _timed_sim_burst(k: int, seed: int) -> tuple[float, int, float]:
+    """One failure-free n=4 burst with metrics off.
+
+    Returns ``(wall_seconds, loop_events, simulated_seconds)`` for the
+    submit-to-last-delivery section.
+    """
+    sim = LanSimulation(n=4, seed=seed)
+    delivered = 0
+
+    def observe(_instance, _delivery) -> None:
+        nonlocal delivered
+        delivered += 1
+
+    for pid in sim.config.process_ids:
+        ab = sim.stacks[pid].create("ab", ("perf",))
+        if pid == 0:
+            ab.on_deliver = observe
+    payload = bytes(100)
+    encode_memo_clear()
+    fastpath_memo_clear()
+    start = time.perf_counter()
+    for pid in sim.config.process_ids:
+        stack = sim.stacks[pid]
+        ab = stack.instance_at(("perf",))
+        with stack.coalesce():
+            for _ in range(k // 4):
+                ab.broadcast(payload)
+    reason = sim.run(until=lambda: delivered >= k, max_time=600.0)
+    wall = time.perf_counter() - start
+    if reason != "until":
+        raise RuntimeError(f"sim perf burst stalled: {delivered}/{k} ({reason})")
+    return wall, sim.loop.events_processed, sim.now
+
+
+def bench_sim(quick: bool) -> dict[str, float]:
+    """Simulator wall-time rates plus deterministic simulated-time stats."""
+    k = 32 if quick else 96
+    repeats = 2 if quick else 3
+    best_wall = float("inf")
+    events = 0
+    for _ in range(repeats):
+        wall, run_events, _sim_s = _timed_sim_burst(k, seed=2)
+        if wall < best_wall:
+            best_wall = wall
+            events = run_events
+    # Distribution run: same workload through the eval harness with
+    # metrics on -- simulated-time throughput and per-message quantiles
+    # are deterministic, so one run suffices.
+    dist = run_burst(k, 100, "failure-free", seed=2, metrics=True)
+    return {
+        "events_per_sec": events / best_wall,
+        "msgs_per_sec": k / best_wall,
+        "ab_throughput_msgs_s": dist.throughput_msgs_s,
+        "p50_s": dist.latency_p50_s,
+        "p95_s": dist.latency_p95_s,
+        "p99_s": dist.latency_p99_s,
+        "events": float(events),
+        "k": float(k),
+    }
+
+
+# -- tcp ---------------------------------------------------------------------
+
+
+async def _tcp_burst(k: int, seed: int, metrics: bool) -> tuple[float, list[Histogram]]:
+    """One n=4 loopback burst; returns ``(wall_seconds, ab histograms)``."""
+    config = GroupConfig(4)
+    dealer = TrustedDealer(4, seed=b"repro-perf")
+    blank = [PeerAddress("127.0.0.1", 0)] * 4
+    nodes = [
+        RitasNode(config, pid, blank, dealer.keystore_for(pid), seed=seed)
+        for pid in range(4)
+    ]
+    try:
+        for node in nodes:
+            await node.listen()
+        addresses = [PeerAddress("127.0.0.1", n.bound_port) for n in nodes]
+        for node in nodes:
+            node.set_peer_addresses(addresses)
+        for node in nodes:
+            if metrics:
+                node.enable_metrics()
+            await node.connect()
+            node.stack.create("ab", ("perf",))
+        done = asyncio.Event()
+        delivered = 0
+
+        def observe(_instance, _delivery) -> None:
+            nonlocal delivered
+            delivered += 1
+            if delivered >= k:
+                done.set()
+
+        nodes[0].stack.instance_at(("perf",)).on_deliver = observe
+        payload = bytes(100)
+        encode_memo_clear()
+        fastpath_memo_clear()
+        start = time.perf_counter()
+        for node in nodes:
+            ab = node.stack.instance_at(("perf",))
+            with node.stack.coalesce():
+                for _ in range(k // 4):
+                    ab.broadcast(payload)
+        await asyncio.wait_for(done.wait(), timeout=120.0)
+        wall = time.perf_counter() - start
+        histograms: list[Histogram] = []
+        if metrics:
+            for node in nodes:
+                for metric in node.stack.metrics.metrics():
+                    if isinstance(metric, Histogram) and metric.name == _AB_LATENCY:
+                        histograms.append(metric)
+        return wall, histograms
+    finally:
+        for node in nodes:
+            await node.close()
+
+
+def bench_tcp(quick: bool) -> dict[str, float]:
+    """Asyncio-runtime delivered msgs/sec plus delivery-latency quantiles."""
+    k = 40 if quick else 160
+    repeats = 2 if quick else 3
+    best_wall = min(
+        asyncio.run(_tcp_burst(k, seed=5, metrics=False))[0] for _ in range(repeats)
+    )
+    _, histograms = asyncio.run(_tcp_burst(k, seed=5, metrics=True))
+    merged = Histogram(_AB_LATENCY)
+    for histogram in histograms:
+        merged.merge(histogram)
+    return {
+        "msgs_per_sec": k / best_wall,
+        "p50_s": merged.quantile(0.5) if merged.count else 0.0,
+        "p95_s": merged.quantile(0.95) if merged.count else 0.0,
+        "p99_s": merged.quantile(0.99) if merged.count else 0.0,
+        "k": float(k),
+    }
+
+
+# -- report ------------------------------------------------------------------
+
+_AREA_FNS: dict[str, Callable[[bool], dict[str, float]]] = {
+    "wire": bench_wire,
+    "mac": bench_mac,
+    "sim": bench_sim,
+    "tcp": bench_tcp,
+}
+
+#: Metrics where bigger is better; only these enter the speedup block
+#: (latency quantiles are reported but not ratioed -- they are simulated
+#: time for the sim area, and tail-noise for the tcp one).
+_RATE_SUFFIXES = ("_per_sec", "_msgs_s")
+
+
+def run_all(
+    quick: bool = False, areas: tuple[str, ...] | None = None
+) -> dict[str, Any]:
+    """Run the selected areas and return one trajectory entry."""
+    selected = AREAS if areas is None else tuple(areas)
+    unknown = [area for area in selected if area not in _AREA_FNS]
+    if unknown:
+        raise ValueError(f"unknown perf area(s): {unknown}; pick from {AREAS}")
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "git_sha": _git_sha(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "areas": {},
+    }
+    for area in selected:
+        report["areas"][area] = _AREA_FNS[area](quick)
+    return report
+
+
+def speedups(current: dict[str, Any], baseline: dict[str, Any]) -> dict[str, float]:
+    """Per-metric ``current / baseline`` ratios for the rate metrics."""
+    ratios: dict[str, float] = {}
+    for area, metrics in current.get("areas", {}).items():
+        base_metrics = baseline.get("areas", {}).get(area, {})
+        for name, value in metrics.items():
+            base = base_metrics.get(name)
+            if (
+                name.endswith(_RATE_SUFFIXES)
+                and isinstance(base, (int, float))
+                and base > 0
+            ):
+                ratios[f"{area}.{name}"] = value / base
+    return ratios
+
+
+def load_report(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} report")
+    return report
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -30,6 +30,7 @@ from hashlib import sha256
 
 MAC_LEN = 32
 _HEADER = struct.Struct(">QI")
+_LEN = struct.Struct(">I")
 MAX_FRAME = 64 * 1024 * 1024
 
 
@@ -57,31 +58,48 @@ class FrameCodec:
         self._src = src
         self._send_seq = 0
         self._recv_seq = -1
+        # The HMAC key schedule (two SHA-256 blocks of key padding) is
+        # constant per link; fork this pre-keyed state per frame instead
+        # of re-deriving it.  Digest bytes are identical to a fresh
+        # ``hmac.new(key, body, sha256)``.
+        self._mac_proto = hmac.new(key, digestmod=sha256)
 
     def encode(self, payload: bytes) -> bytes:
         """Wrap *payload* with sequence number and HMAC trailer."""
-        body = _HEADER.pack(self._send_seq, self._src) + payload
+        header = _HEADER.pack(self._send_seq, self._src)
         self._send_seq += 1
-        tag = hmac.new(self._key, body, sha256).digest()
-        return struct.pack(">I", len(body) + MAC_LEN) + body + tag
+        state = self._mac_proto.copy()
+        state.update(header)
+        state.update(payload)
+        out = bytearray(_LEN.pack(_HEADER.size + len(payload) + MAC_LEN))
+        out += header
+        out += payload
+        out += state.digest()
+        return bytes(out)
 
-    def decode(self, body_and_tag: bytes) -> tuple[int, bytes]:
+    def decode(self, body_and_tag) -> tuple[int, bytes]:
         """Verify one received frame body; returns ``(src, payload)``.
+
+        Accepts any bytes-like object; the body is authenticated in
+        place (no copy) and only the payload is materialized.
 
         Raises:
             FramingError: bad MAC, replayed/reordered sequence number,
                 or truncated frame.
         """
-        if len(body_and_tag) < _HEADER.size + MAC_LEN:
+        size = len(body_and_tag)
+        if size < _HEADER.size + MAC_LEN:
             raise FramingError("frame too short")
-        body, tag = body_and_tag[:-MAC_LEN], body_and_tag[-MAC_LEN:]
-        expected = hmac.new(self._key, body, sha256).digest()
-        if not hmac.compare_digest(tag, expected):
+        view = memoryview(body_and_tag)
+        body_end = size - MAC_LEN
+        state = self._mac_proto.copy()
+        state.update(view[:body_end])
+        if not hmac.compare_digest(view[body_end:], state.digest()):
             raise FramingError("bad frame MAC")
-        seq, src = _HEADER.unpack_from(body)
+        seq, src = _HEADER.unpack_from(view)
         if seq <= self._recv_seq:
             raise FramingError(f"replayed frame (seq {seq} <= {self._recv_seq})")
         if src != self._src:
             raise FramingError(f"frame claims src {src}, link authenticated {self._src}")
         self._recv_seq = seq
-        return src, body[_HEADER.size :]
+        return src, bytes(view[_HEADER.size : body_end])

@@ -391,7 +391,8 @@ class RitasNode:
                         await asyncio.sleep(self._reconnect_delay(failures))
                         continue
                 data = await channel.get()
-                if self.config.batching:
+                batching = self.config.batching
+                if batching:
                     if self.config.batch_window_s > 0 and channel.empty():
                         # Flush window: linger briefly so a burst midway
                         # through generation can still join this batch.
@@ -399,6 +400,18 @@ class RitasNode:
                     data = self._drain_batch(data, channel)
                 try:
                     writer.write(codec.encode(data))
+                    # Drain-once leaning: whatever else is already queued
+                    # leaves in the same flush -- every unit is written
+                    # into the transport buffer first and the (possibly
+                    # blocking) flow-control drain is awaited once per
+                    # wakeup instead of once per unit.
+                    while True:
+                        more = channel.get_nowait()
+                        if more is None:
+                            break
+                        if batching:
+                            more = self._drain_batch(more, channel)
+                        writer.write(codec.encode(more))
                     await writer.drain()
                 except (ConnectionError, OSError):
                     logger.warning("p%d: lost connection to p%d", self.process_id, pid)
