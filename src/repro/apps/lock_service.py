@@ -98,6 +98,12 @@ class DistributedLockService:
             is not None
         )
 
+    def admission(self) -> tuple[int, int]:
+        """``(pending, cap)`` of the request-admission bound -- the
+        context to attach to a retry-after when a ``try_*`` request was
+        refused."""
+        return self._rsm.admission()
+
     # -- local reads ------------------------------------------------------------------
 
     def holder(self, name: str) -> Holder | None:

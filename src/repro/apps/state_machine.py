@@ -123,6 +123,17 @@ class ReplicatedStateMachine:
             self.backpressured += 1
             return None
 
+    def admission(self) -> tuple[int, int]:
+        """Current ``(pending, cap)`` of the atomic-broadcast admission
+        bound: locally submitted commands still undelivered, and the
+        ``config.ab_pending_cap`` ceiling (0 = unbounded).
+
+        This is the context an admission-controlled front end (the
+        gateway's ``retry-after`` responses) reports to clients when a
+        ``try_*`` call is refused.
+        """
+        return self._ab.pending_local, self._ab.config.ab_pending_cap
+
     def _on_delivery(self, _instance, delivery: AbDelivery) -> None:
         if not isinstance(delivery.payload, bytes):
             self._malformed += 1

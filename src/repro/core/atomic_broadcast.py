@@ -169,7 +169,9 @@ class AtomicBroadcast(ControlBlock):
                     self.me, KIND_BACKPRESSURE, self.path, pending=self.pending_local, cap=cap
                 )
             raise BackpressureError(
-                f"{self.pending_local} local messages undelivered (cap {cap})"
+                f"{self.pending_local} local messages undelivered (cap {cap})",
+                pending=self.pending_local,
+                cap=cap,
             )
         rbid = self._next_rbid
         self._next_rbid += 1

@@ -41,7 +41,21 @@ class BackpressureError(RitasError):
     undelivered.  The caller should retry after deliveries drain -- the
     replicated services expose ``try_*`` variants that translate this
     into a ``False``/``None`` result instead of an exception.
+
+    Carries the admission state that produced the refusal, so callers
+    that surface backpressure to *their* clients (the gateway's
+    ``retry-after`` responses) can say how loaded the replica is
+    without parsing the message text:
+
+    Attributes:
+        pending: locally submitted messages still undelivered.
+        cap: the configured bound (``GroupConfig.ab_pending_cap``).
     """
+
+    def __init__(self, message: str, *, pending: int = 0, cap: int = 0):
+        super().__init__(message)
+        self.pending = pending
+        self.cap = cap
 
 
 class ProtocolStallError(RitasError):

@@ -61,6 +61,12 @@ def _spark(buckets: list[list[Any]], width: int = 24) -> str:
     )
 
 
+def _family(name: str) -> str:
+    """The metric-family prefix a name belongs to (``gateway_ops_total``
+    -> ``gateway``); names without an underscore are their own family."""
+    return name.split("_", 1)[0]
+
+
 def render_summary(
     records: list[dict[str, Any]], metric: str | None = None, out: TextIO = sys.stdout
 ) -> None:
@@ -85,37 +91,52 @@ def render_summary(
             + (f", {dropped} dropped trace events" if dropped else "")
             + "\n"
         )
-    by_name: dict[str, list[dict[str, Any]]] = defaultdict(list)
+    # Group by metric-family prefix, so e.g. the gateway_* family reads
+    # as one block instead of interleaving with the protocol metrics.
+    hist_by_family: dict[str, dict[str, list[dict[str, Any]]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
     for record in histograms:
-        by_name[record["name"]].append(record)
-    for name in sorted(by_name):
-        out.write(f"\n{name}\n")
-        out.write(
-            f"  {'labels':<44}{'count':>7}{'p50':>11}{'p95':>11}{'p99':>11}"
-            f"{'max':>11}  distribution\n"
-        )
-        for record in sorted(by_name[name], key=lambda r: _fmt_labels(r["labels"])):
-            if not record.get("count"):
-                continue
+        hist_by_family[_family(record["name"])][record["name"]].append(record)
+    scalars_by_family: dict[str, list[dict[str, Any]]] = defaultdict(list)
+    for record in scalars:
+        scalars_by_family[_family(record["name"])].append(record)
+    for family in sorted(set(hist_by_family) | set(scalars_by_family)):
+        out.write(f"\n== {family} ==\n")
+        by_name = hist_by_family.get(family, {})
+        for name in sorted(by_name):
+            out.write(f"\n{name}\n")
             out.write(
-                f"  {_fmt_labels(record['labels']):<44}{record['count']:>7}"
-                f"{_fmt_seconds(record.get('p50')):>11}"
-                f"{_fmt_seconds(record.get('p95')):>11}"
-                f"{_fmt_seconds(record.get('p99')):>11}"
-                f"{_fmt_seconds(record.get('max')):>11}"
-                f"  {_spark(record.get('buckets', []))}"
-                + ("" if record.get("exact", True) else " (interpolated)")
-                + "\n"
+                f"  {'labels':<44}{'count':>7}{'p50':>11}{'p95':>11}{'p99':>11}"
+                f"{'max':>11}  distribution\n"
             )
-    if scalars:
-        out.write("\nscalars\n")
-        for record in sorted(scalars, key=lambda r: (r["name"], _fmt_labels(r["labels"]))):
-            value = record["value"]
-            rendered = str(int(value)) if float(value).is_integer() else f"{value:.6g}"
-            out.write(
-                f"  {record['name']:<40}{_fmt_labels(record['labels']):<40}"
-                f"{rendered:>12}  ({record['type']})\n"
-            )
+            for record in sorted(by_name[name], key=lambda r: _fmt_labels(r["labels"])):
+                if not record.get("count"):
+                    continue
+                out.write(
+                    f"  {_fmt_labels(record['labels']):<44}{record['count']:>7}"
+                    f"{_fmt_seconds(record.get('p50')):>11}"
+                    f"{_fmt_seconds(record.get('p95')):>11}"
+                    f"{_fmt_seconds(record.get('p99')):>11}"
+                    f"{_fmt_seconds(record.get('max')):>11}"
+                    f"  {_spark(record.get('buckets', []))}"
+                    + ("" if record.get("exact", True) else " (interpolated)")
+                    + "\n"
+                )
+        family_scalars = scalars_by_family.get(family, [])
+        if family_scalars:
+            out.write("\nscalars\n")
+            for record in sorted(
+                family_scalars, key=lambda r: (r["name"], _fmt_labels(r["labels"]))
+            ):
+                value = record["value"]
+                rendered = (
+                    str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+                )
+                out.write(
+                    f"  {record['name']:<40}{_fmt_labels(record['labels']):<40}"
+                    f"{rendered:>12}  ({record['type']})\n"
+                )
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:

@@ -34,7 +34,14 @@ from repro.transport.framing import FrameCodec
 from repro.transport.tcp import PeerAddress, RitasNode
 
 SCHEMA = "repro.perf/v1"
+#: The core trajectory areas (a default run = these four, so every
+#: BENCH_core.json entry stays comparable across the whole history).
 AREAS = ("wire", "mac", "sim", "tcp")
+#: Extra opt-in areas, selected explicitly with ``--area`` and written
+#: to their own trajectory file (e.g. ``--area gateway --out
+#: BENCH_gateway.json``).
+EXTRA_AREAS = ("gateway",)
+ALL_AREAS = AREAS + EXTRA_AREAS
 
 #: Histogram every runtime records per-message AB delivery latency into.
 _AB_LATENCY = "ritas_ab_delivery_latency_seconds"
@@ -287,6 +294,81 @@ def bench_tcp(quick: bool) -> dict[str, float]:
     }
 
 
+# -- gateway -----------------------------------------------------------------
+
+
+def bench_gateway(quick: bool) -> dict[str, float]:
+    """Open-loop client goodput through the gateway, with tail latency.
+
+    The workload is the fixed-size cousin of
+    ``benchmarks/bench_gateway.py``: a 4-replica loopback group, one
+    gateway, a seeded Poisson schedule spread over a pool of concurrent
+    sessions.  Quantiles are client-observed (schedule instant to ack),
+    read from the loadgen's :mod:`repro.obs` histogram; write safety
+    (no acked op missing from or duplicated in the replicated log) is
+    asserted, not just reported.
+    """
+    from repro.gateway.loadgen import LoadProfile, run_load
+    from repro.gateway.server import ClientGateway, GatewayServices
+
+    profile = LoadProfile(
+        sessions=50 if quick else 200,
+        rate=300.0 if quick else 500.0,
+        ops=150 if quick else 600,
+        read_fraction=0.5,
+        seed=17,
+    )
+
+    async def scenario() -> dict[str, float]:
+        config = GroupConfig(4)
+        dealer = TrustedDealer(4, seed=b"repro-perf")
+        blank = [PeerAddress("127.0.0.1", 0)] * 4
+        nodes = [
+            RitasNode(config, pid, blank, dealer.keystore_for(pid), seed=29)
+            for pid in range(4)
+        ]
+        try:
+            for node in nodes:
+                await node.listen()
+            addresses = [PeerAddress("127.0.0.1", n.bound_port) for n in nodes]
+            for node in nodes:
+                node.set_peer_addresses(addresses)
+            for node in nodes:
+                await node.connect()
+            services = [GatewayServices.attach(node) for node in nodes]
+            gateway = ClientGateway(nodes[0], services[0])
+            try:
+                port = await gateway.listen()
+                report = await asyncio.wait_for(
+                    run_load("127.0.0.1", port, profile), timeout=300.0
+                )
+            finally:
+                await gateway.close()
+            applied = {d.msg_id for d, _ in services[0].kv.rsm.applied}
+            lost = sum(1 for a in report.acked_ids if tuple(a) not in applied)
+            duplicated = len(report.acked_ids) - len(set(report.acked_ids))
+            if lost or duplicated or report.errors:
+                raise RuntimeError(
+                    f"gateway area violated write safety: lost={lost} "
+                    f"duplicated={duplicated} errors={report.errors}"
+                )
+            return {
+                "goodput_per_sec": report.goodput_ops_s,
+                "p50_s": report.latency_p50_s,
+                "p95_s": report.latency_p95_s,
+                "p99_s": report.latency_p99_s,
+                "retry_after": float(report.retry_after),
+                "timeouts": float(report.timeouts),
+                "sessions": float(profile.sessions),
+                "k": float(profile.ops),
+            }
+        finally:
+            for node in nodes:
+                await node.close()
+
+    return asyncio.run(scenario())
+
+
 # -- report ------------------------------------------------------------------
 
 _AREA_FNS: dict[str, Callable[[bool], dict[str, float]]] = {
@@ -294,6 +376,7 @@ _AREA_FNS: dict[str, Callable[[bool], dict[str, float]]] = {
     "mac": bench_mac,
     "sim": bench_sim,
     "tcp": bench_tcp,
+    "gateway": bench_gateway,
 }
 
 #: Metrics where bigger is better; only these enter the speedup block
@@ -309,7 +392,7 @@ def run_all(
     selected = AREAS if areas is None else tuple(areas)
     unknown = [area for area in selected if area not in _AREA_FNS]
     if unknown:
-        raise ValueError(f"unknown perf area(s): {unknown}; pick from {AREAS}")
+        raise ValueError(f"unknown perf area(s): {unknown}; pick from {ALL_AREAS}")
     report: dict[str, Any] = {
         "schema": SCHEMA,
         "git_sha": _git_sha(),

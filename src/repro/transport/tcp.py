@@ -154,6 +154,11 @@ class RitasNode:
         self._send_codecs: dict[int, FrameCodec] = {}
         self._send_queues: dict[int, _SendChannel] = {}
         self._tasks: list[asyncio.Task] = []
+        # Inbound connection handlers, so close() can cancel them: the
+        # asyncio server does not cancel live handler tasks on close,
+        # and a handler parked in readexactly() would otherwise outlive
+        # the node ("task was destroyed but it is pending").
+        self._inbound_tasks: set[asyncio.Task] = set()
         self._closed = False
         self.frames_rejected = 0
         #: Frames dropped by the per-peer send-queue bound
@@ -223,13 +228,22 @@ class RitasNode:
 
     async def close(self) -> None:
         self._closed = True
-        for task in self._tasks:
+        pending = list(self._tasks) + list(self._inbound_tasks)
+        for task in pending:
             task.cancel()
-        await asyncio.gather(*self._tasks, return_exceptions=True)
+        await asyncio.gather(*pending, return_exceptions=True)
         self._tasks.clear()
-        for writer in self._writers.values():
-            writer.close()
+        self._inbound_tasks.clear()
+        writers = list(self._writers.values())
         self._writers.clear()
+        for writer in writers:
+            writer.close()
+        # Await the transports so the event loop fully releases the
+        # sockets before we return -- a closed node leaves nothing
+        # half-torn-down behind (no warnings at interpreter exit).
+        await asyncio.gather(
+            *(writer.wait_closed() for writer in writers), return_exceptions=True
+        )
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -427,6 +441,9 @@ class RitasNode:
     async def _on_inbound(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound_tasks.add(task)
         codec: FrameCodec | None = None
         peer = "?"
         peer_pid: int | None = None
@@ -466,4 +483,6 @@ class RitasNode:
                 "p%d: rejecting inbound link from %s: %s", self.process_id, peer, exc
             )
         finally:
+            if task is not None:
+                self._inbound_tasks.discard(task)
             writer.close()
