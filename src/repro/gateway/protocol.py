@@ -51,6 +51,12 @@ STATUS_OK = "ok"
 STATUS_RETRY = "retry-after"
 STATUS_ERROR = "error"
 
+#: Request id echoed on ``error`` responses whose originating request id
+#: could not be recovered (undecodable or shapeless body).  Reserved:
+#: clients must choose non-negative ids, so a ``-1`` response can never
+#: be mistaken for the settlement of a real in-flight operation.
+UNCORRELATED_ID = -1
+
 #: Ops the gateway accepts, with their argument arity.
 OPS = {
     "put": 2,  # key, value
@@ -68,7 +74,16 @@ READ_OPS = frozenset({"get", "ping"})
 
 
 class ClientProtocolError(Exception):
-    """A client frame was malformed (oversized, bad codec, bad shape)."""
+    """A client frame was malformed (oversized, bad codec, bad shape).
+
+    ``request_id`` carries the originating request's id when the decoder
+    got far enough to recover it (wrong arity, unknown op, bad shape
+    with an int leader), letting the server's ``error`` response
+    correlate; it is ``None`` -- answered as :data:`UNCORRELATED_ID` --
+    when nothing trustworthy could be read.
+    """
+
+    request_id: int | None = None
 
 
 def encode_client_frame(value: Any) -> bytes:
@@ -100,6 +115,12 @@ def decode_request(body: bytes) -> tuple[int, str, list[Any]]:
         decoded = decode_value(body)
     except WireFormatError as exc:
         raise ClientProtocolError(f"undecodable request: {exc}") from None
+    # Recover the request id whenever the leading element parses as one,
+    # even if the rest of the shape is wrong -- an error the client can
+    # correlate beats an UNCORRELATED_ID it can only log.
+    recovered: int | None = None
+    if isinstance(decoded, list) and decoded and isinstance(decoded[0], int):
+        recovered = decoded[0]
     if (
         not isinstance(decoded, list)
         or len(decoded) != 3
@@ -107,13 +128,19 @@ def decode_request(body: bytes) -> tuple[int, str, list[Any]]:
         or not isinstance(decoded[1], str)
         or not isinstance(decoded[2], list)
     ):
-        raise ClientProtocolError("request must be [request_id, op, args]")
+        exc = ClientProtocolError("request must be [request_id, op, args]")
+        exc.request_id = recovered
+        raise exc
     request_id, op, args = decoded
     arity = OPS.get(op)
     if arity is None:
-        raise ClientProtocolError(f"unknown op {op!r}")
+        exc = ClientProtocolError(f"unknown op {op!r}")
+        exc.request_id = request_id
+        raise exc
     if len(args) != arity:
-        raise ClientProtocolError(f"op {op!r} takes {arity} args, got {len(args)}")
+        exc = ClientProtocolError(f"op {op!r} takes {arity} args, got {len(args)}")
+        exc.request_id = request_id
+        raise exc
     return request_id, op, args
 
 

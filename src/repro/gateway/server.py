@@ -22,10 +22,12 @@ that
   Prometheus exposition plus gateway gauges.
 
 Write correlation uses the atomic-broadcast message id: every ordered
-submission returns its system-wide ``(sender, rbid)`` and the state
-machine's ``on_applied`` hook reports that id back at apply time, so
-responses are matched exactly -- never by submission order, which
-asynchrony is allowed to permute.  The id is echoed to the client in
+submission returns its ``(sender, rbid)`` and the state machine's
+``on_applied`` hook reports that id back at apply time, so responses
+are matched exactly -- never by submission order, which asynchrony is
+allowed to permute.  The pending table keys the id together with the
+service name, because the kv and lock RSMs ride independent AB
+instances whose rbid counters overlap.  The id is echoed to the client in
 every ``ok`` detail, which is what lets a load generator audit "zero
 lost or duplicated acknowledged writes" against the replicated log.
 """
@@ -47,6 +49,7 @@ from repro.gateway.protocol import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_RETRY,
+    UNCORRELATED_ID,
     ClientProtocolError,
     FrameReader,
     decode_request,
@@ -187,7 +190,12 @@ class ClientGateway:
         self._server: asyncio.base_events.Server | None = None
         self._http_server: asyncio.base_events.Server | None = None
         self._sessions: dict[int, _Session] = {}
-        self._pending: dict[tuple[int, int], _PendingOp] = {}
+        #: Keyed by (service name, AB msg_id).  The service name matters:
+        #: kv and locks are independent AtomicBroadcast instances whose
+        #: rbid counters both start at 0, so a bare (sender, rbid) is NOT
+        #: unique across them -- a pipelined first put and first acquire
+        #: would collide and settle each other's requests.
+        self._pending: dict[tuple[str, tuple[int, int]], _PendingOp] = {}
         self._next_sid = 0
         self._sweep_task: asyncio.Task | None = None
         self._closed = False
@@ -199,8 +207,8 @@ class ClientGateway:
         self.sessions_total = 0
         self.sessions_dropped = 0
         self._clock = time.monotonic
-        self._chain_applied(services.kv.rsm)
-        self._chain_applied(services.locks.rsm)
+        self._chain_applied("kv", services.kv.rsm)
+        self._chain_applied("locks", services.locks.rsm)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -366,13 +374,17 @@ class ClientGateway:
         try:
             request_id, op, args = decode_request(body)
         except ClientProtocolError as exc:
-            self._respond(session, 0, STATUS_ERROR, str(exc), op="?", started=now)
+            # Echo the recovered request id when the decoder salvaged
+            # one; otherwise the reserved UNCORRELATED_ID sentinel --
+            # never 0, which is a legitimate (and common) client id.
+            rid = exc.request_id if exc.request_id is not None else UNCORRELATED_ID
+            self._respond(session, rid, STATUS_ERROR, str(exc), op="?", started=now)
             return
         if op == "ping":
             self._respond(session, request_id, STATUS_OK, [None, None, "pong"], op=op, started=now)
             return
         try:
-            command, key, rsm = self._build_command(session, op, args)
+            command, key, service, rsm = self._build_command(session, op, args)
         except ClientProtocolError as exc:
             self._respond(session, request_id, STATUS_ERROR, str(exc), op=op, started=now)
             return
@@ -390,12 +402,16 @@ class ClientGateway:
             self._respond(session, request_id, STATUS_RETRY, detail, op=op, started=now)
             return
         session.inflight += 1
-        self._pending[msg_id] = _PendingOp(session.sid, request_id, op, key, now)
+        self._pending[(service, msg_id)] = _PendingOp(session.sid, request_id, op, key, now)
 
     def _build_command(
         self, session: _Session, op: str, args: list[Any]
-    ) -> tuple[Command, str | None, ReplicatedStateMachine]:
+    ) -> tuple[Command, str | None, str, ReplicatedStateMachine]:
         """Translate one client request into a replicated command.
+
+        Returns ``(command, key, service, rsm)`` -- *service* names the
+        RSM ("kv"/"locks") and keys the pending table alongside the AB
+        msg_id, which is only unique per AB instance.
 
         Type errors are rejected *here*, with a message, rather than
         ordered and no-opped by the state machine's defensive apply.
@@ -406,7 +422,7 @@ class ClientGateway:
             key, value = args
             if not isinstance(key, str) or not isinstance(value, bytes):
                 raise ClientProtocolError("put takes (str key, bytes value)")
-            return KvCommand.put(key, value), key, kv
+            return KvCommand.put(key, value), key, "kv", kv
         if op == "get":
             (key,) = args
             if not isinstance(key, str):
@@ -414,12 +430,12 @@ class ClientGateway:
             # Ordered read: an op the KV apply function treats as a
             # deterministic no-op; the gateway answers from the state at
             # its serialization point.
-            return Command("get", [key]), key, kv
+            return Command("get", [key]), key, "kv", kv
         if op == "delete":
             (key,) = args
             if not isinstance(key, str):
                 raise ClientProtocolError("delete takes (str key)")
-            return KvCommand.delete(key), key, kv
+            return KvCommand.delete(key), key, "kv", kv
         if op == "cas":
             key, expected, value = args
             if (
@@ -428,7 +444,7 @@ class ClientGateway:
                 or not isinstance(value, bytes)
             ):
                 raise ClientProtocolError("cas takes (str, bytes|None, bytes)")
-            return KvCommand.cas(key, expected, value), key, kv
+            return KvCommand.cas(key, expected, value), key, "kv", kv
         if op in ("acquire", "release"):
             name, tag = args
             if not isinstance(name, str) or not isinstance(tag, str):
@@ -437,27 +453,30 @@ class ClientGateway:
             # session so independent clients sharing the gateway never
             # alias each other's holdership.
             scoped = f"s{session.sid}:{tag}"
-            return Command(op, [name, locks.replica_id, scoped]), name, locks
+            return Command(op, [name, locks.replica_id, scoped]), name, "locks", locks
         raise ClientProtocolError(f"unknown op {op!r}")
 
     # -- completion ------------------------------------------------------------------
 
-    def _chain_applied(self, rsm: ReplicatedStateMachine) -> None:
+    def _chain_applied(self, service: str, rsm: ReplicatedStateMachine) -> None:
         """Hook *rsm*'s apply stream without displacing existing hooks
-        (the lock service installs its own ``on_applied``)."""
+        (the lock service installs its own ``on_applied``).  *service*
+        disambiguates the pending table: each RSM's AB instance numbers
+        its rbids independently, so msg_ids alone collide across RSMs.
+        """
         previous = rsm.on_applied
 
         def on_applied(delivery, command: Command, result: Any) -> None:
             if previous is not None:
                 previous(delivery, command, result)
-            self._on_applied(delivery, command, result)
+            self._on_applied(service, delivery, command, result)
 
         rsm.on_applied = on_applied
 
-    def _on_applied(self, delivery, command: Command, result: Any) -> None:
+    def _on_applied(self, service: str, delivery, command: Command, result: Any) -> None:
         if delivery.sender != self.node.process_id:
             return
-        pending = self._pending.pop(delivery.msg_id, None)
+        pending = self._pending.pop((service, delivery.msg_id), None)
         if pending is None:
             return
         session = self._sessions.get(pending.sid)
@@ -525,11 +544,11 @@ class ClientGateway:
             return
         deadline = self._clock() - self.op_timeout_s
         expired = [
-            (msg_id, op) for msg_id, op in self._pending.items()
+            (key, op) for key, op in self._pending.items()
             if op.submitted_at <= deadline
         ]
-        for msg_id, pending in expired:
-            del self._pending[msg_id]
+        for key, pending in expired:
+            del self._pending[key]
             self.ops_timeout += 1
             session = self._sessions.get(pending.sid)
             if session is None:
@@ -557,7 +576,16 @@ class ClientGateway:
 
     def status(self) -> dict[str, Any]:
         """JSON-ready snapshot served by the HTTP status endpoint."""
-        pending, cap = self.services.kv.rsm.admission()
+        # Admission is per service: kv and locks ride independent AB
+        # instances, each with its own pending count against the shared
+        # configured cap -- retry-afters come from whichever refused.
+        admission = {
+            service: dict(zip(("pending", "cap"), rsm.admission()))
+            for service, rsm in (
+                ("kv", self.services.kv.rsm),
+                ("locks", self.services.locks.rsm),
+            )
+        }
         return {
             "process": self.node.process_id,
             "group_size": self.node.config.num_processes,
@@ -570,6 +598,5 @@ class ClientGateway:
             "ops_retry_after": self.ops_retry_after,
             "ops_error": self.ops_error,
             "ops_timeout": self.ops_timeout,
-            "ab_pending": pending,
-            "ab_pending_cap": cap,
+            "admission": admission,
         }

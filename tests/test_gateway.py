@@ -15,6 +15,7 @@ from repro.gateway.protocol import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_RETRY,
+    UNCORRELATED_ID,
     ClientProtocolError,
     FrameReader,
     decode_request,
@@ -64,6 +65,21 @@ class TestProtocol:
             decode_request(wire.encode_value("not-a-request"))
         with pytest.raises(ClientProtocolError, match="undecodable"):
             decode_request(b"\xff\xff\xff")
+
+    def test_request_id_recovered_when_possible(self):
+        """Decode errors carry the originating request id whenever the
+        leading int parses, so the server's error response correlates."""
+        cases = {
+            wire.encode_value([7, "explode", []]): 7,  # unknown op
+            wire.encode_value([8, "put", ["only-key"]]): 8,  # bad arity
+            wire.encode_value([9, 42, []]): 9,  # bad shape, int leader
+            wire.encode_value("not-a-request"): None,  # no leader at all
+            b"\xff\xff\xff": None,  # undecodable
+        }
+        for body, expected in cases.items():
+            with pytest.raises(ClientProtocolError) as excinfo:
+                decode_request(body)
+            assert excinfo.value.request_id == expected
 
     def test_oversized_frame_rejected(self):
         reader = FrameReader()
@@ -322,6 +338,43 @@ class TestGatewayE2E:
 
         asyncio.run(scenario())
 
+    def test_pipelined_kv_and_lock_ops_do_not_collide(self):
+        """kv and locks are independent AB instances whose rbid counters
+        both start at 0: the *first* put and the *first* acquire, when
+        pipelined into one wakeup, carry equal (sender, rbid) msg_ids.
+        The pending table must keep them apart (keyed by service too) so
+        each request settles with its own result."""
+
+        async def scenario():
+            nodes, _services, gateway, port = await start_gateway_group()
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                # One write -> one read wakeup -> both submissions share
+                # the coalescing window; each RSM assigns rbid 0.
+                writer.write(
+                    encode_request(0, "put", ["collide", b"kv-wins"])
+                    + encode_request(1, "acquire", ["collide-lock", "t"])
+                )
+                await writer.drain()
+                got = {}
+                for _ in range(2):
+                    body = await asyncio.wait_for(read_frame(reader), 60.0)
+                    request_id, status, detail = decode_response(body)
+                    assert status == STATUS_OK
+                    got[request_id] = detail
+                assert sorted(got) == [0, 1]
+                # Each response carries *its own* operation's result --
+                # not the other's -- despite the equal rbids.
+                assert got[0][2] is True  # put applied
+                assert got[1][2][0] == "granted"  # lock transition
+                assert gateway.ops_timeout == 0
+                assert gateway.inflight_ops == 0
+                writer.close()
+            finally:
+                await close_all(gateway, nodes)
+
+        asyncio.run(scenario())
+
     def test_malformed_requests_answered_not_fatal(self):
         async def scenario():
             nodes, _services, gateway, port = await start_gateway_group()
@@ -331,12 +384,16 @@ class TestGatewayE2E:
                 writer.write(encode_client_frame([2, "put", ["k", "not-bytes"]]))
                 writer.write(encode_client_frame("not-a-request"))
                 await writer.drain()
-                statuses = []
+                answered = []
                 for _ in range(3):
                     body = await asyncio.wait_for(read_frame(reader), 10.0)
-                    _, status, _ = decode_response(body)
-                    statuses.append(status)
-                assert statuses == [STATUS_ERROR] * 3
+                    request_id, status, _ = decode_response(body)
+                    assert status == STATUS_ERROR
+                    answered.append(request_id)
+                # Recoverable ids are echoed; the shapeless frame gets
+                # the reserved UNCORRELATED_ID -- never a real client id
+                # like 0, which a pipelining client could mis-settle.
+                assert answered == [1, 2, UNCORRELATED_ID]
                 # The session survived the garbage; valid ops still work.
                 writer.write(encode_request(4, "ping", []))
                 await writer.drain()
@@ -402,6 +459,12 @@ class TestStatusEndpoint:
                 assert snapshot["group_size"] == 4
                 assert snapshot["sessions_open"] == 1
                 assert snapshot["ops_ok"] >= 1
+                # Admission is reported per service: retry-afters can
+                # come from either RSM, so both must be visible.
+                assert set(snapshot["admission"]) == {"kv", "locks"}
+                for state in snapshot["admission"].values():
+                    assert state["pending"] >= 0
+                    assert state["cap"] == 0  # unbounded in this group
                 status_line, body = await http_get("/metrics")
                 assert "200" in status_line
                 text = body.decode()
