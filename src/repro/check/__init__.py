@@ -16,8 +16,12 @@ happy-path test:
   minimal JSON reproducer that ``python -m repro.check replay``
   re-executes deterministically (runs are fully determined by their
   parameters, so the reproducer needs only those).
+- :mod:`repro.check.soak` drives one long-lived group through hours of
+  simulated time under a rotating fault schedule, asserting gauge
+  flatness from :mod:`repro.obs` each time a fault clears (imported on
+  demand -- it pulls in the application and recovery layers).
 
-CLI: ``python -m repro.check {explore,replay,scenarios}``.
+CLI: ``python -m repro.check {explore,replay,scenarios,soak}``.
 """
 
 from repro.check.explore import (

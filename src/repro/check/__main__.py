@@ -5,12 +5,18 @@ Usage::
     python -m repro.check scenarios
     python -m repro.check explore --scenario byz-ooc-flood --budget 200
     python -m repro.check replay repro-check-byz-ooc-flood.json
+    python -m repro.check soak --hours 1.0 --out soak-obs.jsonl
 
 ``explore`` exits 0 when every run is clean and 1 on a violation, after
 writing the shrunken reproducer JSON (``--out``, default
 ``repro-check-<scenario>.json``) -- CI uploads that file as an
 artifact.  ``replay`` exits 1 while the reproducer still violates
 (the bug is alive) and 0 once it runs clean.
+
+``soak`` runs hours of simulated time under the rotating fault
+schedule (see :mod:`repro.check.soak`), asserting gauge flatness at
+every window boundary; ``--smoke`` is the shortened CI variant and
+``--out`` writes the obs JSONL snapshot CI uploads as an artifact.
 
 The default budget honors the ``RITAS_EXPLORE_BUDGET`` environment
 variable so CI can tune exploration depth without editing workflows,
@@ -84,6 +90,46 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    # Imported here: the soak harness pulls in the application and
+    # recovery layers, which the explore/replay paths never need.
+    from repro.check.invariants import InvariantViolation
+    from repro.check.soak import SoakError, WindowReport, run_soak
+
+    def progress(window: WindowReport) -> None:
+        lag = max(s["gc_lag"] for s in window.gauges["process"].values())
+        print(
+            f"[{window.end_s:8.1f}s] {window.name:<18} "
+            f"writes={window.writes:<5d} gc_lag={lag} flat"
+        )
+
+    try:
+        report = run_soak(
+            hours=args.hours,
+            seed=args.seed,
+            smoke=args.smoke,
+            out=args.out,
+            progress=progress,
+        )
+    except SoakError as error:
+        print(f"SOAK FLATNESS VIOLATION: {error}", file=sys.stderr)
+        return 1
+    except InvariantViolation as violation:
+        print(
+            f"SOAK INVARIANT VIOLATION [{violation.invariant}] {violation.detail}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"soak clean: {report.simulated_s:.0f}s simulated, "
+        f"{len(report.windows)} windows ({report.gray_windows} gray), "
+        f"{report.writes} writes, {report.events} events"
+    )
+    if args.out:
+        print(f"obs snapshot written to {args.out}")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     reproducer = load_reproducer(args.file)
     result = replay(reproducer)
@@ -122,6 +168,24 @@ def main(argv: list[str] | None = None) -> int:
     p_replay = sub.add_parser("replay", help="re-execute a reproducer JSON")
     p_replay.add_argument("file")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_soak = sub.add_parser(
+        "soak", help="hours of simulated time under rotating faults"
+    )
+    p_soak.add_argument(
+        "--hours",
+        type=float,
+        default=1.0,
+        help="simulated hours to run (default 1.0)",
+    )
+    p_soak.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shortened CI variant: one full rotation with short windows",
+    )
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument("--out", help="obs JSONL snapshot path")
+    p_soak.set_defaults(func=_cmd_soak)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -65,6 +65,7 @@ def run_one(
     checker = InvariantChecker(sim, deep_check_interval=deep_check_interval)
     try:
         scenario.apply_ops(sim, ops)
+        scenario.start(sim)
         stop = sim.run(max_time=scenario.max_time, max_events=max_events)
         # Final sweep regardless of why the run stopped: a truncated
         # replay must still surface a violation first caught by the

@@ -20,8 +20,10 @@ mvc          agreement on the decision key; a non-⊥ decision was proposed
              by some correct process
 vc           agreement on the decided vector; a correct process's slot
              holds its proposal or ⊥
-ab           the totally-ordered delivery logs of correct processes are
-             prefixes of one another
+ab           the totally-ordered delivery logs of correct processes
+             agree wherever their observation windows overlap (aligned
+             on the first shared message id, so rejoined replicas'
+             mid-history logs and bounded soak windows compare cleanly)
 ooc          per-stack conservation: stored == pending + drained + purged
              + evicted (every stack, Byzantine included -- the table is
              honest machinery even under a corrupt protocol suite), plus
@@ -42,6 +44,60 @@ from typing import Any
 from repro.core.stack import ControlBlock, Stack
 from repro.core.wire import Path
 from repro.net.network import LanSimulation
+
+
+def _first_shared(
+    log_a: list[tuple[int, int, bytes]], log_b: list[tuple[int, int, bytes]]
+) -> tuple[int, int] | None:
+    """Position of the first entry of *log_a* whose message id also
+    appears in *log_b*, as ``(index_a, index_b)``; None when no id is
+    shared."""
+    index_b: dict[tuple[int, int], int] = {}
+    for position, entry in enumerate(log_b):
+        index_b.setdefault(entry[:2], position)
+    for position_a, entry in enumerate(log_a):
+        position_b = index_b.get(entry[:2])
+        if position_b is not None:
+            return (position_a, position_b)
+    return None
+
+
+def align_order_logs(
+    log_a: list[tuple[int, int, bytes]], log_b: list[tuple[int, int, bytes]]
+) -> tuple[int, int, int, bool] | None:
+    """Align two delivery-order observation windows on their first
+    shared message id.
+
+    Order logs stopped being plain prefixes of one another the moment
+    replicas could *rejoin* (a recovered replica's log starts
+    mid-history) and logs could be *bounded* (``order_log_cap`` keeps a
+    trailing window).  Both cases still expose a comparable overlap:
+    message ids ``(sender, rbid)`` are unique across the total order,
+    so the first id two logs share anchors them.
+
+    Returns ``(index_a, index_b, overlap_length, anchors_agree)``, or
+    ``None`` when the windows are disjoint (nothing to compare -- e.g.
+    one replica's window was truncated past the other's history).
+
+    ``anchors_agree`` guards against order *swaps* that a one-direction
+    scan would anchor past: scanning A for its first entry shared with B
+    and scanning B for its first entry shared with A must land on the
+    same pair when both logs are windows of one total order (the window
+    that starts later begins inside the other, so one index is 0).
+    ``A=[m1, m2]`` vs ``B=[m2, m1]`` yields anchors ``(0, 1)`` and
+    ``(1, 0)`` -- disagreement, which is itself an order violation.
+    """
+    if not log_a or not log_b:
+        return None
+    if log_a[0][:2] == log_b[0][:2]:  # fast path: windows start together
+        return (0, 0, min(len(log_a), len(log_b)), True)
+    forward = _first_shared(log_a, log_b)
+    if forward is None:
+        return None
+    backward = _first_shared(log_b, log_a)
+    agree = backward == (forward[1], forward[0])
+    overlap = min(len(log_a) - forward[0], len(log_b) - forward[1])
+    return (forward[0], forward[1], overlap, agree)
 
 
 class InvariantViolation(AssertionError):
@@ -79,11 +135,21 @@ class InvariantChecker:
         sim: the simulation to watch.
         deep_check_interval: run the O(entries) out-of-context table
             consistency sweep every this many events (0 disables it).
+        order_log_cap: bound each atomic-broadcast order log to its most
+            recent entries (0 = unbounded).  Soak runs set this so hours
+            of simulated history check windowed order agreement at flat
+            memory; :func:`align_order_logs` handles the windows.
     """
 
-    def __init__(self, sim: LanSimulation, deep_check_interval: int = 512):
+    def __init__(
+        self,
+        sim: LanSimulation,
+        deep_check_interval: int = 512,
+        order_log_cap: int = 0,
+    ):
         self.sim = sim
         self.deep_check_interval = deep_check_interval
+        self.order_log_cap = order_log_cap
         self.checks_run = 0
         self.correct = set(sim.correct_ids())
         self._dirty: set[Path] = set()
@@ -104,6 +170,7 @@ class InvariantChecker:
 
     def _instrument(self, pid: int, stack: Stack) -> None:
         stack.record_delivery_order = True
+        stack.order_log_cap = self.order_log_cap
         if pid in self.correct:
             stack.observer = self._observe
 
@@ -300,20 +367,42 @@ class InvariantChecker:
 
     def _check_ab(self, path, views, event_index) -> None:
         logs = {
-            pid: view["order_log"] for pid, view in views.items() if "order_log" in view
+            pid: list(view["order_log"])
+            for pid, view in views.items()
+            if "order_log" in view
         }
         pids = sorted(logs)
         for a, b in zip(pids, pids[1:]):
             log_a, log_b = logs[a], logs[b]
-            shorter = min(len(log_a), len(log_b))
-            if log_a[:shorter] != log_b[:shorter]:
-                diverge = next(
-                    i for i in range(shorter) if log_a[i] != log_b[i]
-                )
+            aligned = align_order_logs(log_a, log_b)
+            if aligned is None:
+                # Disjoint observation windows (a rejoined replica whose
+                # history starts past the other's bounded window): the
+                # logs share no message, so order cannot be compared --
+                # and cannot conflict.
+                continue
+            start_a, start_b, overlap, anchors_agree = aligned
+            if not anchors_agree or (start_a > 0 and start_b > 0):
+                # Each log delivered messages the other never saw
+                # *before* their first shared delivery -- under a total
+                # order at most one window may extend further back.
                 self._fail(
                     "ab-order",
                     path,
-                    f"delivery order of p{a} and p{b} diverges at position "
-                    f"{diverge}: {log_a[diverge]!r} vs {log_b[diverge]!r}",
+                    f"p{a} and p{b} each delivered messages the other "
+                    f"lacks before their first shared delivery "
+                    f"({log_a[start_a]!r}): {log_a[:start_a]!r} vs "
+                    f"{log_b[:start_b]!r}",
                     event_index,
                 )
+            for offset in range(overlap):
+                if log_a[start_a + offset] != log_b[start_b + offset]:
+                    self._fail(
+                        "ab-order",
+                        path,
+                        f"delivery order of p{a} and p{b} diverges "
+                        f"{offset} deliveries after their common anchor: "
+                        f"{log_a[start_a + offset]!r} vs "
+                        f"{log_b[start_b + offset]!r}",
+                        event_index,
+                    )

@@ -15,27 +15,45 @@ adversarial, exactly like the evaluation tests), then ops execute in
 list order at virtual time zero.  Removing any op still yields a legal
 run -- the shrinker relies on that.
 
+Beyond ops, a scenario may carry an *environment*: ``partitions``
+(JSON-able split schedules applied through the fault plan), a ``link``
+factory building a :class:`~repro.net.links.LinkModel` (asymmetric WAN
+matrices, lossy/duplicating/reordering links, gray failures), and a
+``driver`` callable that arms time-triggered machinery on the built
+simulation (the churn scenario uses it to crash a replica mid-run and
+rejoin it through the recovery path).
+
 The registry covers the paper's faultloads (failure-free, fail-stop,
-the Section 4.2 Byzantine process) plus every other registered
-strategy, and ``byz-bc-split``: an n=6 group under the always-zero
-attack with a 3/2 split among the five correct proposals.  n=6 is the
-smallest group where weakening binary consensus's step-2 strict
-majority bar from ``n/2`` to ``(n-f)/2`` opens a real agreement hole
-(two disjoint 3-subsets of the 5 correct step-2 values can then both
-look like "majorities"), making it the regression scenario for that
-deliberately reintroducible bug.
+the Section 4.2 Byzantine process), every registered flooding strategy,
+``byz-bc-split`` (the n=6 (n-f)/2 regression), and the hostile-network
+catalog: ``wan-asym``, ``wan-lossy``, ``wan-dup``, ``wan-reorder``,
+``gray-slow-replica``, ``gray-flaky-mac``, ``gray-degrading``,
+``heal-mid-agreement`` and ``churn-rejoin``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.config import GroupConfig
-from repro.net.faults import FaultPlan
+from repro.net.faults import FaultPlan, Partition
+from repro.net.links import (
+    Degrading,
+    Delay,
+    Duplicating,
+    FlakyMac,
+    LinkModel,
+    Lossy,
+    Reordering,
+    zoned_matrix,
+)
 from repro.net.network import LanSimulation
 
 Op = list  # ["kind", instance, pid, value]
+
+#: JSON-able partition spec: ``(start, end, islands)``.
+PartitionSpec = tuple
 
 
 @dataclass(frozen=True)
@@ -50,11 +68,25 @@ class Scenario:
     crashed: dict[int, float] = field(default_factory=dict)
     config_kwargs: dict[str, Any] = field(default_factory=dict)
     max_time: float = 120.0
+    #: Temporary splits, as ``(start, end, islands)`` tuples.
+    partitions: tuple[PartitionSpec, ...] = ()
+    #: Factory building a fresh :class:`LinkModel` per run (a shared
+    #: instance would leak RNG state between explorer runs).
+    link: Callable[[], LinkModel] | None = None
+    #: Callable run once on the built simulation, after :meth:`apply_ops`
+    #: and before the clock starts -- arms timers, churn, application
+    #: machinery.  Drivers must schedule deterministically (simulated
+    #: clock only).
+    driver: Callable[[LanSimulation], None] | None = None
 
     def fault_plan(self) -> FaultPlan:
         plan = FaultPlan(crashed=dict(self.crashed))
         for pid, strategy in self.byzantine.items():
             plan.byzantine[pid] = FaultPlan.with_byzantine(pid, strategy).byzantine[pid]
+        for start, end, islands in self.partitions:
+            plan.partitions.append(
+                Partition(start, end, tuple(tuple(island) for island in islands))
+            )
         return plan
 
     def config(self) -> GroupConfig:
@@ -69,6 +101,7 @@ class Scenario:
             fault_plan=self.fault_plan(),
             jitter_s=jitter_s,
             tie_break_seed=tie_break_seed,
+            link_model=self.link() if self.link is not None else None,
         )
 
     def apply_ops(self, sim: LanSimulation, ops: list[Op]) -> None:
@@ -88,6 +121,11 @@ class Scenario:
                 target.broadcast(value.encode() if isinstance(value, str) else value)
             else:
                 raise ValueError(f"unknown op kind {kind!r}")
+
+    def start(self, sim: LanSimulation) -> None:
+        """Arm the scenario's driver (if any) on the built simulation."""
+        if self.driver is not None:
+            self.driver(sim)
 
 
 def _bc_ops(instance: str, proposals: dict[int, int]) -> list[Op]:
@@ -115,6 +153,103 @@ def _byz_scenario(strategy: str, n: int = 4, **kwargs: Any) -> Scenario:
         byzantine={attacker: strategy},
         **kwargs,
     )
+
+
+# -- hostile-environment catalog (link models, partitions, churn) ------------------
+
+#: The two-site geo-replication split used by the WAN scenarios.
+WAN_ZONES = ((0, 1), (2, 3))
+
+#: The standard mixed workload the environment scenarios run: an AB
+#: burst from everyone plus a split-proposal binary consensus.
+_ENV_OPS = _ab_burst("a", [0, 1, 2, 3], 2) + _bc_ops("v", {0: 1, 1: 0, 2: 1, 3: 0})
+
+
+def _wan_asym_link() -> LinkModel:
+    return zoned_matrix(WAN_ZONES, intra_s=2e-4, inter_s=0.015, jitter_s=2e-3)
+
+
+def _wan_lossy_link() -> LinkModel:
+    return LinkModel(default=Lossy(p=0.08, rto_s=0.01))
+
+
+def _wan_dup_link() -> LinkModel:
+    return LinkModel(default=Duplicating(p=0.15, echo_delay_s=2e-3))
+
+
+def _wan_reorder_link() -> LinkModel:
+    return LinkModel(default=Reordering(p=0.5, spread_s=3e-3))
+
+
+def _gray_slow_link() -> LinkModel:
+    return LinkModel(host_slowdowns={3: 100.0})
+
+
+def _gray_flaky_mac_link() -> LinkModel:
+    # Process 2's NIC corrupts outbound frames intermittently; the
+    # clean TCP retransmission follows one RTO later.
+    flaky = FlakyMac(p=0.1, rto_s=5e-3)
+    return LinkModel(behaviors={(2, dest): flaky for dest in range(4) if dest != 2})
+
+
+def _gray_degrading_link() -> LinkModel:
+    return LinkModel(default=Degrading(start_s=0.02, ramp_s=0.5, max_extra_s=0.01))
+
+
+def _churn_driver(sim: LanSimulation) -> None:
+    """Crash replica 3 mid-run and rejoin it through the recovery path,
+    twice, while every live replica keeps submitting commands.
+
+    The whole application layer lives in the driver (ops stay empty):
+    replicated KV stores over AB, a recovery manager per replica for
+    checkpoint certificates, and workload tickers that survive the
+    churn.  The invariant checker still sees every protocol instance
+    underneath -- agreement under churn is exactly what it sweeps.
+    """
+    # Imported here: repro.recovery imports protocol modules that import
+    # repro.core.stack, the hub this package hangs off.
+    from repro.apps.kv_store import ReplicatedKvStore
+    from repro.recovery import RecoveryManager
+
+    stores: list[ReplicatedKvStore] = []
+    writes = {"count": 0}
+
+    def attach(pid: int, recovering: bool) -> None:
+        stack = sim.stacks[pid]
+        store = ReplicatedKvStore(stack.create("ab", ("kv",)))
+        manager = RecoveryManager(stack, store.rsm, recovering=recovering)
+        sim.add_ticker(pid, 0.01, manager.poke)
+        if len(stores) > pid:
+            stores[pid] = store
+        else:
+            stores.append(store)
+
+    def write(pid: int) -> None:
+        if sim.now > 1.8 or sim.fault_plan.is_crashed(pid, sim.now):
+            return
+        writes["count"] += 1
+        stores[pid].try_put(f"c/{pid}/{writes['count']}", bytes([writes["count"] % 251]))
+
+    def add_writer(pid: int) -> None:
+        sim.add_ticker(pid, 0.05, lambda: write(pid))
+
+    for pid in range(4):
+        attach(pid, recovering=False)
+        add_writer(pid)
+
+    def crash() -> None:
+        sim.fault_plan.crashed[3] = sim.now
+
+    def restart() -> None:
+        sim.restart_process(3)
+        attach(3, recovering=True)
+        add_writer(3)  # restart_process cancelled the old incarnation's tickers
+
+    # Two full crash/rejoin cycles under sustained load.
+    sim.loop.schedule_at(0.15, crash)
+    sim.loop.schedule_at(0.45, restart)
+    sim.loop.schedule_at(1.20, crash)
+    sim.loop.schedule_at(1.50, restart)
 
 
 SCENARIOS: dict[str, Scenario] = {
@@ -155,6 +290,84 @@ SCENARIOS: dict[str, Scenario] = {
             "the (n-f)/2 strict-majority bug becomes schedule-reachable",
             ops=_bc_ops("v", {0: 1, 1: 1, 2: 1, 3: 0, 4: 0, 5: 0}),
             byzantine={5: "paper"},
+        ),
+        Scenario(
+            name="wan-asym",
+            n=4,
+            description="two-site geo-replication: 15 ms asymmetric "
+            "cross-zone latency (the Section 4.2 WAN caution, measured)",
+            ops=_ENV_OPS,
+            link=_wan_asym_link,
+        ),
+        Scenario(
+            name="wan-lossy",
+            n=4,
+            description="every link loses 8% of frames (modeled as TCP "
+            "retransmit delay with doubling RTO)",
+            ops=_ENV_OPS,
+            link=_wan_lossy_link,
+        ),
+        Scenario(
+            name="wan-dup",
+            n=4,
+            description="every link duplicates 15% of frames with a "
+            "2 ms echo -- the idempotence sweep",
+            ops=_ENV_OPS,
+            link=_wan_dup_link,
+        ),
+        Scenario(
+            name="wan-reorder",
+            n=4,
+            description="half of all frames take a jittered detour, "
+            "letting later frames overtake them",
+            ops=_ENV_OPS,
+            link=_wan_reorder_link,
+        ),
+        Scenario(
+            name="gray-slow-replica",
+            n=4,
+            description="gray failure: replica 3 is correct but 100x "
+            "slow -- alive enough to dodge crash handling, slow enough "
+            "to lag every quorum",
+            ops=_ENV_OPS,
+            link=_gray_slow_link,
+            max_time=300.0,
+        ),
+        Scenario(
+            name="gray-flaky-mac",
+            n=4,
+            description="gray failure: process 2's NIC corrupts 10% of "
+            "outbound frames (detectably); TCP retransmits clean copies",
+            ops=_ENV_OPS,
+            link=_gray_flaky_mac_link,
+        ),
+        Scenario(
+            name="gray-degrading",
+            n=4,
+            description="every link's latency quietly ramps from LAN to "
+            "10 ms over half a second -- gray failure in slow-burn form",
+            ops=_ENV_OPS,
+            link=_gray_degrading_link,
+        ),
+        Scenario(
+            name="heal-mid-agreement",
+            n=4,
+            description="an AB burst is submitted, then the group splits "
+            "2/2 (no quorum anywhere) and heals mid-agreement; every "
+            "delivery must land identically after the heal",
+            ops=_ab_burst("a", [0, 1, 2, 3], 3),
+            partitions=((0.003, 0.4, ((0, 1), (2, 3))),),
+        ),
+        Scenario(
+            name="churn-rejoin",
+            n=4,
+            description="replica 3 crashes and rejoins through the "
+            "recovery path twice while the group keeps ordering KV "
+            "writes (checkpoint transfer under sustained load)",
+            ops=[],
+            config_kwargs={"checkpoint_interval": 8},
+            driver=_churn_driver,
+            max_time=4.0,
         ),
     ]
 }

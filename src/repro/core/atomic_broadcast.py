@@ -35,7 +35,7 @@ from typing import Any
 
 from repro.core.errors import BackpressureError, ProtocolViolationError
 from repro.core.mbuf import Mbuf
-from repro.core.stack import ControlBlock, Stack
+from repro.core.stack import ORPHAN_STALE, ControlBlock, Stack
 from repro.core.stats import PURPOSE_AGREEMENT, PURPOSE_PAYLOAD
 from repro.core.trace import KIND_BACKPRESSURE
 from repro.core.wire import Path, encode_value_cached
@@ -141,10 +141,16 @@ class AtomicBroadcast(ControlBlock):
         #: Per-delivery order log ``(sender, rbid, payload digest)``,
         #: kept only when the stack opts in (the invariant checker
         #: compares prefixes across processes); ``None`` otherwise so
-        #: ordinary runs pay nothing.
-        self.order_log: list[tuple[int, int, bytes]] | None = (
-            [] if stack.record_delivery_order else None
-        )
+        #: ordinary runs pay nothing.  With ``stack.order_log_cap`` set,
+        #: only the most recent entries are kept (a bounded deque) --
+        #: long soak runs check windowed order agreement at O(cap)
+        #: memory instead of O(history).
+        self.order_log: "deque[tuple[int, int, bytes]] | list[tuple[int, int, bytes]] | None"
+        if stack.record_delivery_order:
+            cap = stack.order_log_cap
+            self.order_log = deque(maxlen=cap) if cap else []
+        else:
+            self.order_log = None
         self._ensure_vect_instances(0)
 
     # -- public API -----------------------------------------------------------------
@@ -443,13 +449,20 @@ class AtomicBroadcast(ControlBlock):
                     "rb", ("vect", round_number, j), sender=j, purpose=PURPOSE_AGREEMENT
                 )
 
-    def accept_orphan(self, mbuf: Mbuf) -> bool:
+    def accept_orphan(self, mbuf: Mbuf) -> "bool | object":
         """Create receiver-side instances on demand (dynamic demux).
 
         AB_MSG identifiers are not knowable in advance, so the reliable
         broadcast instance for a peer's ``(sender, rbid)`` is created on
         first contact -- subject to a per-sender window that stops a
         corrupt process from minting unbounded instances.
+
+        Frames addressed to *retired* state -- an already-delivered
+        message id, or agreement machinery (``vect``/``mvc`` subtrees)
+        of a round below the GC floor -- are reported
+        :data:`~repro.core.stack.ORPHAN_STALE`: a laggard catching up
+        after the group checkpointed past it re-sends them freely, and
+        nothing will ever drain them from the out-of-context table.
         """
         suffix = mbuf.path[len(self.path) :]
         if len(suffix) == 3 and suffix[0] == "msg":
@@ -459,8 +472,9 @@ class AtomicBroadcast(ControlBlock):
                 and isinstance(rbid, int)
                 and sender in self.config.process_ids
                 and rbid >= 0
-                and not self._is_delivered((sender, rbid))
             ):
+                if self._is_delivered((sender, rbid)):
+                    return ORPHAN_STALE
                 if self._open_msg_instances.get(sender, 0) >= self._msg_window:
                     # Attribution rule: score only when the flooder is
                     # speaking for itself -- an honest process echoing a
@@ -476,9 +490,16 @@ class AtomicBroadcast(ControlBlock):
                 )
                 return True
             return False
-        if len(suffix) == 3 and suffix[0] == "vect":
-            _, round_number, sender = suffix
-            if round_number == self._round and sender in self.config.process_ids:
+        if len(suffix) >= 2 and suffix[0] in ("vect", "mvc") and isinstance(suffix[1], int):
+            round_number = suffix[1]
+            if round_number < self._gc_floor:
+                return ORPHAN_STALE
+            if (
+                suffix[0] == "vect"
+                and len(suffix) == 3
+                and round_number == self._round
+                and suffix[2] in self.config.process_ids
+            ):
                 self._ensure_vect_instances(round_number)
                 return True
         return False

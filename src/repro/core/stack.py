@@ -80,6 +80,14 @@ DeliverFn = Callable[["ControlBlock", Any], None]
 #: its own (larger) per-frame costs from its calibrated parameters.
 CHANNEL_HEADER_BYTES = 4 + 12 + 32
 
+#: Returned by :meth:`ControlBlock.accept_orphan` instead of ``False``
+#: when the frame's subtree is *retired* -- an already-delivered message
+#: id, a garbage-collected round.  The router drops such frames (counted
+#: under the ``"stale-frame"`` drop reason) instead of parking them:
+#: nothing will ever drain them, so parking would leak out-of-context
+#: slots for the table's capacity eviction to clean up hours later.
+ORPHAN_STALE = "stale"
+
 
 class ControlBlock:
     """Base class for one protocol instance.
@@ -225,14 +233,17 @@ class ControlBlock:
         """
         return {"protocol": self.protocol, "destroyed": self._destroyed}
 
-    def accept_orphan(self, mbuf: Mbuf) -> bool:
+    def accept_orphan(self, mbuf: Mbuf) -> "bool | object":
         """Offer a frame addressed *below* this instance with no handler.
 
         A subclass that creates children dynamically (e.g. atomic
         broadcast creating a reliable-broadcast receiver for a message id
         it has never seen) inspects ``mbuf.path`` and instantiates the
         missing child, returning ``True``.  Returning ``False`` parks the
-        frame in the OOC table.
+        frame in the OOC table; returning :data:`ORPHAN_STALE` drops it
+        (the subtree is retired -- a collected round, a delivered
+        message -- so no future registration can ever drain it, and
+        parking would pin an OOC slot until capacity eviction).
         """
         return False
 
@@ -378,6 +389,10 @@ class Stack:
         #: prefix-agreement checking (memory grows with history -- meant
         #: for bounded checker/explorer runs, not production sessions).
         self.record_delivery_order = False
+        #: With ``record_delivery_order`` on, a nonzero cap bounds each
+        #: order log to its most recent entries (soak runs keep windowed
+        #: order agreement checkable at flat memory); 0 = unbounded.
+        self.order_log_cap = 0
         #: Per-peer misbehavior scores and quarantine state.  The clock
         #: indirects through the attribute so runtimes that swap
         #: ``stack.clock`` after construction keep probation timing right.
@@ -807,12 +822,15 @@ class Stack:
             ancestor = self._registry.get(mbuf.path[:prefix_len])
             if ancestor is None:
                 continue
-            created = False
+            created: bool | object = False
             try:
                 created = ancestor.accept_orphan(mbuf)
             except ProtocolViolationError:
                 self.stats.record_drop("protocol-violation")
                 self.report_misbehavior(mbuf.src, "protocol-violation")
+                return
+            if created is ORPHAN_STALE:
+                self.stats.record_drop("stale-frame")
                 return
             if created:
                 instance = self._registry.get(mbuf.path)

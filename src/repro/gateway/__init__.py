@@ -17,11 +17,15 @@ line; see docs/GATEWAY.md for a quickstart.
 """
 
 from repro.gateway.loadgen import (
+    ChurnEvent,
+    ChurnPlan,
     LoadProfile,
     LoadReport,
     ScheduledOp,
     build_schedule,
+    chaos_profile,
     run_load,
+    run_load_with_churn,
 )
 from repro.gateway.protocol import (
     STATUS_ERROR,
@@ -38,11 +42,15 @@ from repro.gateway.server import ClientGateway, GatewayServices
 __all__ = [
     "ClientGateway",
     "GatewayServices",
+    "ChurnEvent",
+    "ChurnPlan",
     "LoadProfile",
     "LoadReport",
     "ScheduledOp",
     "build_schedule",
+    "chaos_profile",
     "run_load",
+    "run_load_with_churn",
     "ClientProtocolError",
     "encode_request",
     "encode_response",

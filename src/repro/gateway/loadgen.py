@@ -21,6 +21,12 @@ the outcome down into goodput / retry-after / timeout / error, plus the
 acknowledged-write audit trail (every ``ok`` write's atomic-broadcast
 message id) that lets a benchmark prove no acknowledged write was lost
 or duplicated.
+
+The chaos harness (:func:`run_load_with_churn` with a
+:class:`ChurnPlan` and the :func:`chaos_profile`) runs the same
+open-loop generator while scheduled fault actions -- crash a replica,
+rejoin it through the recovery path -- fire mid-run, which is exactly
+when the audit trail earns its keep.
 """
 
 from __future__ import annotations
@@ -287,3 +293,93 @@ async def run_load(
 def _finite(histogram: Histogram, q: float) -> float:
     value = histogram.quantile(q)
     return value if value == value else 0.0  # NaN -> 0.0 (no samples)
+
+
+# -- chaos: load under replica churn -----------------------------------------------
+
+
+def chaos_profile(*, seed: int = 1) -> LoadProfile:
+    """The loadgen profile the churn tests run: write-heavy (the audit
+    trail is the point), a small key space, and a modest op count so
+    the crash and the rejoin both land *inside* the run."""
+    return LoadProfile(
+        sessions=20,
+        rate=400.0,
+        ops=250,
+        read_fraction=0.3,
+        key_space=64,
+        value_bytes=24,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled fault action, *at* seconds from load start."""
+
+    at: float
+    replica: int
+    action: str  # "crash" or "restart"
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A deterministic fault schedule run alongside an open-loop load."""
+
+    events: tuple[ChurnEvent, ...]
+
+    @classmethod
+    def crash_restart(
+        cls, replica: int, *, crash_at: float, restart_at: float
+    ) -> "ChurnPlan":
+        return cls(
+            events=(
+                ChurnEvent(crash_at, replica, "crash"),
+                ChurnEvent(restart_at, replica, "restart"),
+            )
+        )
+
+
+async def run_load_with_churn(
+    host: str,
+    port: int,
+    profile: LoadProfile,
+    *,
+    plan: ChurnPlan,
+    crash: Any,
+    restart: Any,
+    registry: MetricsRegistry | None = None,
+    drain_timeout_s: float = 30.0,
+) -> LoadReport:
+    """Run *profile* while *plan*'s churn events fire on schedule.
+
+    *crash* and *restart* are async callables ``(replica) -> None``
+    supplied by the harness (closing a node, rebinding its port and
+    rejoining it through the recovery path); the loadgen stays a pure
+    client and never reaches into the group.  The returned report's
+    ``acked_ids`` is the audit trail: zero lost and zero duplicated
+    acknowledged writes under churn is the gateway's headline claim,
+    and the chaos test asserts it against the replicas' applied log.
+    """
+
+    async def drive() -> None:
+        loop = asyncio.get_event_loop()
+        start = loop.time()
+        for event in plan.events:
+            delay = start + event.at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if event.action == "crash":
+                await crash(event.replica)
+            elif event.action == "restart":
+                await restart(event.replica)
+            else:
+                raise ValueError(f"unknown churn action {event.action!r}")
+
+    report, _ = await asyncio.gather(
+        run_load(
+            host, port, profile, registry=registry, drain_timeout_s=drain_timeout_s
+        ),
+        drive(),
+    )
+    return report

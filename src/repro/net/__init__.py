@@ -17,16 +17,40 @@ See :mod:`repro.net.network` for the calibrated parameter presets.
 
 from repro.net.faults import FaultPlan, Partition
 from repro.net.group import SimGroup
+from repro.net.links import (
+    Chain,
+    Degrading,
+    Delay,
+    Duplicating,
+    FlakyMac,
+    LinkBehavior,
+    LinkModel,
+    Lossy,
+    Reordering,
+    latency_matrix,
+    zoned_matrix,
+)
 from repro.net.network import LAN_2006, WAN_EMULATED, LanSimulation, NetworkParameters
 from repro.net.simulator import EventLoop
 
 __all__ = [
+    "Chain",
+    "Degrading",
+    "Delay",
+    "Duplicating",
     "EventLoop",
     "FaultPlan",
+    "FlakyMac",
     "LAN_2006",
+    "LinkBehavior",
+    "LinkModel",
+    "Lossy",
     "Partition",
+    "Reordering",
     "SimGroup",
     "WAN_EMULATED",
     "LanSimulation",
     "NetworkParameters",
+    "latency_matrix",
+    "zoned_matrix",
 ]

@@ -45,6 +45,7 @@ from repro.core.wire import encode_batch, is_batch
 from repro.crypto.coin import SharedCoinDealer
 from repro.crypto.keys import TrustedDealer
 from repro.net.faults import FaultPlan
+from repro.net.links import LinkModel
 from repro.net.simulator import EventLoop, PeriodicHandle
 from repro.obs.metrics import MetricsRegistry
 
@@ -123,12 +124,19 @@ class LanSimulation:
         fault_plan: crashes and Byzantine substitutions to apply.
         jitter_s: uniform random extra latency added per message --
             zero keeps the LAN perfectly symmetric like the paper's
-            testbed; a WAN-style run sets this high.
+            testbed; a WAN-style run sets this high.  Draws come from a
+            *per-link* seeded RNG, so the delays one link sees never
+            depend on traffic order across unrelated links.
         tie_break_seed: when given, same-time simulator events execute
             in an order drawn from an RNG seeded on this value instead
             of insertion order (still deterministic per seed); the
             schedule explorer in :mod:`repro.check` sweeps this to
             reach interleavings a fixed order never produces.
+        link_model: a :class:`~repro.net.links.LinkModel` of per-link
+            behaviors (asymmetric latency, loss-as-retransmit,
+            duplication, reordering, detectable corruption) and
+            per-host CPU slowdown factors.  Bound to *seed* here; the
+            default ``None`` keeps the seed-exact symmetric LAN.
     """
 
     def __init__(
@@ -144,6 +152,7 @@ class LanSimulation:
         tie_break_seed: int | None = None,
         base_factory: ProtocolFactory | None = None,
         shared_coin: bool = False,
+        link_model: LinkModel | None = None,
     ):
         if config is None:
             if n is None:
@@ -164,7 +173,12 @@ class LanSimulation:
                 else None
             )
         )
-        self._jitter_rng = random.Random(f"{seed}/jitter")
+        # One jitter RNG per ordered link, derived lazily from the master
+        # seed: a shared stream would make each link's delay draws depend
+        # on the interleaving of *all* traffic, wrecking replay/shrink
+        # determinism the moment an unrelated link chats more.
+        self._jitter_rngs: dict[tuple[int, int], random.Random] = {}
+        self.link_model = link_model.bind(seed) if link_model is not None else None
         self.frames_delivered = 0
         self.frames_dropped_crash = 0
         self.bytes_on_wire = 0
@@ -174,6 +188,10 @@ class LanSimulation:
         self.link_frames_shed = 0
         self.link_bytes_shed = 0
         self.peak_link_queue_frames = 0
+        # Link-model fault accounting (all zero without a link_model).
+        self.link_frames_dropped_model = 0
+        self.link_frames_duplicated = 0
+        self.link_frames_corrupted = 0
         # Per-link send buffers for frame coalescing: frames handed to a
         # link while the sender's CPU is still busy wait here and leave
         # merged, mirroring the TCP sender task draining its queue into
@@ -356,14 +374,33 @@ class LanSimulation:
             size += self.params.ipsec_ah_bytes
         return size
 
-    def _cpu_cost(self, wire_bytes: int, fixed: float) -> float:
+    def _cpu_cost(self, wire_bytes: int, fixed: float, pid: int | None = None) -> float:
         cost = fixed + wire_bytes * self.params.cpu_per_byte_s
         if self.ipsec:
             cost += (
                 self.params.ipsec_cpu_fixed_s
                 + wire_bytes * self.params.ipsec_cpu_per_byte_s
             )
+        if self.link_model is not None and pid is not None:
+            # A gray-failed host is alive but slow: every CPU-charged
+            # operation stretches by its slowdown factor.
+            cost *= self.link_model.cpu_factor(pid)
         return cost
+
+    def _link_jitter(self, src: int, dest: int) -> float:
+        rng = self._jitter_rngs.get((src, dest))
+        if rng is None:
+            rng = random.Random(f"{self.seed}/jitter/{src}->{dest}")
+            self._jitter_rngs[(src, dest)] = rng
+        return rng.uniform(0.0, self.jitter_s)
+
+    @staticmethod
+    def _corrupt_frame(data: bytes) -> bytes:
+        # Mangle the frame-version byte to a value the codec is
+        # guaranteed to reject (neither FRAME_VERSION nor the batch
+        # tag), so corruption is always *detectable*: the receiver
+        # counts a malformed-frame drop, nothing enters protocol state.
+        return b"\x7f" + data[1:]
 
     def _make_outbox(self, src: int):
         def outbox(dest: int, data: bytes) -> None:
@@ -379,7 +416,10 @@ class LanSimulation:
         if src == dest:
             # In-process loopback: a function call, not a trip through
             # TCP/IPSec (mirrors the original C library's short circuit).
-            done = self.hosts[src].cpu.acquire(now, params.local_delivery_s)
+            local = params.local_delivery_s
+            if self.link_model is not None:
+                local *= self.link_model.cpu_factor(src)
+            done = self.hosts[src].cpu.acquire(now, local)
             self.loop.schedule_at(done, self._deliver, src, dest, data, self._gen(src, dest))
             return
         if self.config.batching:
@@ -450,20 +490,37 @@ class LanSimulation:
         if is_batch(data):
             self.batches_on_wire += 1
         send_done = self.hosts[src].cpu.acquire(
-            now, self._cpu_cost(wire_bytes, params.cpu_send_s)
+            now, self._cpu_cost(wire_bytes, params.cpu_send_s, src)
         )
         nic_done = self.hosts[src].nic_out.acquire(
             send_done, wire_bytes * 8.0 / params.bandwidth_bps
         )
         at_switch = nic_done + params.switch_latency_s
         if self.jitter_s > 0.0:
-            at_switch += self._jitter_rng.uniform(0.0, self.jitter_s)
+            at_switch += self._link_jitter(src, dest)
         # Downlink and receiver-CPU time must be claimed when the frame
         # actually reaches each resource (staged events), not now: frames
         # still in flight must never block the receiver's present work.
-        self.loop.schedule_at(
-            at_switch, self._arrive, src, dest, data, wire_bytes, self._gen(src, dest)
-        )
+        gen = self._gen(src, dest)
+        model = self.link_model
+        if model is None:
+            self.loop.schedule_at(at_switch, self._arrive, src, dest, data, wire_bytes, gen)
+            return
+        copies = model.deliveries(src, dest, wire_bytes, now)
+        if not copies:
+            self.link_frames_dropped_model += 1
+            return
+        clean = sum(1 for _, corrupt in copies if not corrupt)
+        if clean > 1:
+            self.link_frames_duplicated += clean - 1
+        for extra_delay, corrupt in copies:
+            payload = data
+            if corrupt:
+                payload = self._corrupt_frame(data)
+                self.link_frames_corrupted += 1
+            self.loop.schedule_at(
+                at_switch + extra_delay, self._arrive, src, dest, payload, wire_bytes, gen
+            )
 
     def _arrive(
         self, src: int, dest: int, data: bytes, wire_bytes: int, gen: tuple[int, int]
@@ -488,7 +545,7 @@ class LanSimulation:
         self, src: int, dest: int, data: bytes, wire_bytes: int, gen: tuple[int, int]
     ) -> None:
         recv_done = self.hosts[dest].cpu.acquire(
-            self.loop.now, self._cpu_cost(wire_bytes, self.params.cpu_recv_s)
+            self.loop.now, self._cpu_cost(wire_bytes, self.params.cpu_recv_s, dest)
         )
         self.loop.schedule_at(recv_done, self._deliver, src, dest, data, gen)
 
@@ -510,6 +567,15 @@ class LanSimulation:
     @property
     def now(self) -> float:
         return self.loop.now
+
+    def link_queue_depth(self) -> tuple[int, int]:
+        """Total ``(frames, bytes)`` currently parked in link coalescing
+        queues across every link -- zero once the network has drained
+        (the soak harness asserts exactly that after each fault window).
+        """
+        frames = sum(len(queue) for queue in self._link_pending.values())
+        size = sum(queue.bytes for queue in self._link_pending.values())
+        return (frames, size)
 
     def correct_ids(self) -> list[int]:
         faulty = self.fault_plan.faulty_ids()

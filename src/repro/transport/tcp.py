@@ -153,6 +153,11 @@ class RitasNode:
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._send_codecs: dict[int, FrameCodec] = {}
         self._send_queues: dict[int, _SendChannel] = {}
+        # Per-peer fault-injection gates (set = link open).  A cleared
+        # gate holds the sender loop before it writes, so frames queue
+        # and flush in order on release -- the TCP view of a transient
+        # partition: delay, never loss.
+        self._link_open: dict[int, asyncio.Event] = {}
         self._tasks: list[asyncio.Task] = []
         # Inbound connection handlers, so close() can cancel them: the
         # asyncio server does not cancel live handler tasks on close,
@@ -335,6 +340,31 @@ class RitasNode:
                     self.process_id, KIND_SHED, (), dest=dest, frames=len(shed)
                 )
 
+    def _link_gate(self, pid: int) -> asyncio.Event:
+        gate = self._link_open.get(pid)
+        if gate is None:
+            gate = asyncio.Event()
+            gate.set()
+            self._link_open[pid] = gate
+        return gate
+
+    def set_link_blocked(self, pid: int, blocked: bool) -> None:
+        """Fault injection: hold (or release) the outbound link to *pid*.
+
+        While blocked, frames keep queueing toward the peer and the
+        sender loop parks before its next write; on release everything
+        flushes in order.  Blocking the cross-island links of every node
+        on both sides is how the partition tests build a 2/2 split on
+        the real runtime -- and healing it is one call per link, with
+        delivery semantics identical to the simulator's
+        :class:`~repro.net.faults.Partition` (delayed, complete, FIFO).
+        """
+        gate = self._link_gate(pid)
+        if blocked:
+            gate.clear()
+        else:
+            gate.set()
+
     def send_queue_depth(self, pid: int) -> tuple[int, int]:
         """Current ``(frames, bytes)`` queued toward peer *pid*."""
         channel = self._send_queues.get(pid)
@@ -376,6 +406,7 @@ class RitasNode:
     async def _sender(self, pid: int, channel: "_SendChannel") -> None:
         """Own the outbound connection to *pid*: (re)connect and drain."""
         codec = self._send_codecs[pid]
+        gate = self._link_gate(pid)
         writer: asyncio.StreamWriter | None = None
         failures = 0
         budget = self.config.reconnect_retry_budget
@@ -405,6 +436,8 @@ class RitasNode:
                         await asyncio.sleep(self._reconnect_delay(failures))
                         continue
                 data = await channel.get()
+                if not gate.is_set():
+                    await gate.wait()
                 batching = self.config.batching
                 if batching:
                     if self.config.batch_window_s > 0 and channel.empty():

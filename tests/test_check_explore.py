@@ -38,10 +38,11 @@ def weakened_bar(monkeypatch):
 
 # (seed, tie_break_seed, jitter) known to drive byz-bc-split into the
 # step-3 split under the weakened bar; explore() visits it at index 1
-# when started from base_seed 27.
-BAD_SEED = 28
+# when started from base_seed 39.  (Re-pinned when jitter moved to
+# per-link RNG streams -- the schedule space shifted.)
+BAD_SEED = 40
 BAD_JITTER = 1e-4
-EXPLORE_BASE = 27
+EXPLORE_BASE = 39
 
 
 class TestReintroducedBug:

@@ -91,6 +91,34 @@ class TestProtocolsAcrossPartitions:
         assert reason == "until"
         assert orders[3] == orders[0]  # same total order, just later
 
+    def test_heal_mid_agreement_delivers_identically(self):
+        """An AB burst submitted *before* a 2/2 split (no quorum on
+        either side) must deliver in one identical total order on every
+        replica once the split heals mid-agreement."""
+        heal_at = 0.5
+        plan = FaultPlan(partitions=[Partition(0.003, heal_at, ((0, 1), (2, 3)))])
+        sim = LanSimulation(n=4, seed=35, fault_plan=plan)
+        for stack in sim.stacks:
+            stack.record_delivery_order = True
+            stack.create("ab", ("a",))
+        for pid in range(4):
+            for index in range(3):
+                sim.stacks[pid].instance_at(("a",)).broadcast(b"%d:%d" % (pid, index))
+
+        def all_delivered():
+            return all(
+                len(stack.instance_at(("a",)).order_log) == 12
+                for stack in sim.stacks
+            )
+
+        reason = sim.run(until=all_delivered, max_time=60)
+        assert reason == "until"
+        # The burst genuinely straddled the split: with no quorum in
+        # either island, part of the order could only form post-heal.
+        assert sim.now > heal_at
+        logs = [list(s.instance_at(("a",)).order_log) for s in sim.stacks]
+        assert logs[0] == logs[1] == logs[2] == logs[3]
+
     def test_no_frames_lost_across_partition(self):
         """The reliable channel delays, never drops: total frame counts
         match a partition-free run's deliveries."""
