@@ -26,6 +26,7 @@ from repro.adversary.strategies import (
     OocFlooderAtomicBroadcast,
     RandomBitBinaryConsensus,
     bad_mac_faultload,
+    bc_variant,
     byzantine_paper_faultload,
     crash_consensus_faultload,
     duplicate_storm_faultload,
@@ -43,6 +44,7 @@ __all__ = [
     "OocFlooderAtomicBroadcast",
     "RandomBitBinaryConsensus",
     "bad_mac_faultload",
+    "bc_variant",
     "byzantine_paper_faultload",
     "crash_consensus_faultload",
     "duplicate_storm_faultload",

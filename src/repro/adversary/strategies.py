@@ -21,6 +21,46 @@ from repro.core.stack import ControlBlock, ProtocolFactory
 from repro.crypto.hashing import HASH_LEN
 
 
+def _always_zero_step(self: Any, round_number: int, step: int, computed: Any) -> Any:
+    return 0
+
+
+def _random_bit_step(self: Any, round_number: int, step: int, computed: Any) -> Any:
+    return self.stack.rng.getrandbits(1)
+
+
+def _swallow_propose(self: Any, value: int) -> None:
+    self.proposal = value  # swallow: never broadcast, never answer
+
+
+#: (tag, honest base class) -> derived adversarial variant.  The bc
+#: attacks override only the engine-agnostic adversary hooks
+#: (``_step_value`` / ``propose``), so the same attack applies to any
+#: registered engine -- the faultloads below derive the variant from
+#: whatever class the target factory resolves for "bc".  Memoized so one
+#: (tag, base) pair always yields the *same* class object (faultloads
+#: may be applied once per process).
+_BC_VARIANTS: dict[tuple[str, type], type] = {}
+
+_BC_ATTACKS: dict[str, dict[str, Any]] = {
+    "always-zero": {"_step_value": _always_zero_step},
+    "random-bit": {"_step_value": _random_bit_step},
+    "crash-on-propose": {"propose": _swallow_propose},
+}
+
+
+def bc_variant(tag: str, base: type) -> type:
+    """The *tag* attack grafted onto binary-consensus engine *base*."""
+    key = (tag, base)
+    variant = _BC_VARIANTS.get(key)
+    if variant is None:
+        variant = type(
+            f"{tag.title().replace('-', '')}{base.__name__}", (base,), dict(_BC_ATTACKS[tag])
+        )
+        _BC_VARIANTS[key] = variant
+    return variant
+
+
 class AlwaysZeroBinaryConsensus(BinaryConsensus):
     """Always proposes and pushes 0, trying to impose a zero decision.
 
@@ -30,22 +70,26 @@ class AlwaysZeroBinaryConsensus(BinaryConsensus):
     level (the paper: "it always proposes zero").
     """
 
-    def _step_value(self, round_number: int, step: int, computed: Any) -> Any:
-        return 0
+    _step_value = _always_zero_step
 
 
 class RandomBitBinaryConsensus(BinaryConsensus):
     """Broadcasts random bits at every step -- pure noise injection."""
 
-    def _step_value(self, round_number: int, step: int, computed: Any) -> Any:
-        return self.stack.rng.getrandbits(1)
+    _step_value = _random_bit_step
 
 
 class CrashOnProposeBinaryConsensus(BinaryConsensus):
     """Goes mute the moment consensus starts (a targeted omission fault)."""
 
-    def propose(self, value: int) -> None:
-        self.proposal = value  # swallow: never broadcast, never answer
+    propose = _swallow_propose
+
+
+# Attacks on the default engine resolve to the named classes above (kept
+# for importers and trace readability), not to fresh synthesized types.
+_BC_VARIANTS[("always-zero", BinaryConsensus)] = AlwaysZeroBinaryConsensus
+_BC_VARIANTS[("random-bit", BinaryConsensus)] = RandomBitBinaryConsensus
+_BC_VARIANTS[("crash-on-propose", BinaryConsensus)] = CrashOnProposeBinaryConsensus
 
 
 class DefaultValueMultiValuedConsensus(MultiValuedConsensus):
@@ -136,20 +180,20 @@ class BadMacEchoBroadcast(EchoBroadcast):
 def byzantine_paper_faultload(factory: ProtocolFactory) -> ProtocolFactory:
     """The exact Byzantine faultload of Section 4.2: zero at the binary
     consensus layer, ⊥ at the multi-valued consensus layer."""
-    return factory.override("bc", AlwaysZeroBinaryConsensus).override(
-        "mvc", DefaultValueMultiValuedConsensus
-    )
+    return factory.override(
+        "bc", bc_variant("always-zero", factory.resolve("bc"))
+    ).override("mvc", DefaultValueMultiValuedConsensus)
 
 
 def random_noise_faultload(factory: ProtocolFactory) -> ProtocolFactory:
     """A noisier attacker: random bits into every binary consensus step."""
-    return factory.override("bc", RandomBitBinaryConsensus)
+    return factory.override("bc", bc_variant("random-bit", factory.resolve("bc")))
 
 
 def crash_consensus_faultload(factory: ProtocolFactory) -> ProtocolFactory:
     """An omission attacker that participates in broadcasts but never in
     consensus."""
-    return factory.override("bc", CrashOnProposeBinaryConsensus)
+    return factory.override("bc", bc_variant("crash-on-propose", factory.resolve("bc")))
 
 
 def ooc_flood_faultload(factory: ProtocolFactory) -> ProtocolFactory:

@@ -314,6 +314,37 @@ class InvariantChecker:
                     + ", ".join(f"p{pid}={v}" for pid, v in sorted(values.items())),
                     event_index,
                 )
+        # Coin-branch legality (Bracha engine only -- `coin_rounds` holds
+        # the step-3 tallies snapshotted at each toss): a correct process
+        # may only fall through to the coin when its step-3 view could be
+        # congruent with any correct peer's -- at most f counts per
+        # definite value (more would mean f+1 step-3 votes for v, forcing
+        # *adopt v*, never the coin) and a full n-f quorum of step-3
+        # messages total.  An engine bug that tosses early (short quorum)
+        # or past an adopt threshold shows up here before it can surface
+        # as a (schedule-dependent) agreement violation.
+        config = self.sim.config
+        for pid, view in views.items():
+            for round_number, counts in sorted(view.get("coin_rounds", {}).items()):
+                c0, c1, cbot = counts
+                if c0 > config.f or c1 > config.f:
+                    self._fail(
+                        "bc-coin-legality",
+                        path,
+                        f"p{pid} round {round_number}: tossed the coin with "
+                        f"step-3 counts (c0={c0}, c1={c1}, ⊥={cbot}) although "
+                        f"some value exceeded f={config.f} (adopt was forced)",
+                        event_index,
+                    )
+                if c0 + c1 + cbot < config.wait_quorum:
+                    self._fail(
+                        "bc-coin-legality",
+                        path,
+                        f"p{pid} round {round_number}: tossed the coin on "
+                        f"{c0 + c1 + cbot} step-3 messages, below the "
+                        f"n-f={config.wait_quorum} quorum",
+                        event_index,
+                    )
         proposals = {
             pid: v["proposal"] for pid, v in views.items() if v["proposal"] is not None
         }

@@ -292,6 +292,26 @@ SCENARIOS: dict[str, Scenario] = {
             byzantine={5: "paper"},
         ),
         Scenario(
+            name="byz-bc-split-shared",
+            n=6,
+            description="byz-bc-split over the Rabin-style shared coin: "
+            "the same split and attack, but every correct process sees "
+            "the same toss, so rounds-to-decide is bounded",
+            ops=_bc_ops("v", {0: 1, 1: 1, 2: 1, 3: 0, 4: 0, 5: 0}),
+            byzantine={5: "paper"},
+            config_kwargs={"bc_coin": "shared"},
+        ),
+        Scenario(
+            name="byz-bc-split-crain",
+            n=6,
+            description="byz-bc-split under the Crain 2020 engine "
+            "(EST/AUX/CONF rounds over the shared coin): the bc "
+            "invariants must hold engine-independently",
+            ops=_bc_ops("v", {0: 1, 1: 1, 2: 1, 3: 0, 4: 0, 5: 0}),
+            byzantine={5: "paper"},
+            config_kwargs={"bc_engine": "crain", "bc_coin": "shared"},
+        ),
+        Scenario(
             name="wan-asym",
             n=4,
             description="two-site geo-replication: 15 ms asymmetric "

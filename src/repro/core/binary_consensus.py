@@ -28,6 +28,10 @@ wait forever in a pending queue and are effectively ignored.
 A process that decides keeps participating for one extra round so that
 every other correct process can decide too (all of them do so at most
 one round later), then goes quiet.
+
+This class is the default (``"bracha"``) entry of the pluggable-engine
+registry (:mod:`repro.core.bc_engine`); the Crain 2020 engine lives in
+:mod:`repro.core.crain_consensus`.
 """
 
 from __future__ import annotations
@@ -36,10 +40,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.bc_engine import BCEngine, register_bc_engine
 from repro.core.errors import ProtocolViolationError
 from repro.core.mbuf import Mbuf
 from repro.core.stack import ControlBlock, Stack
-from repro.core.trace import KIND_DECIDE, KIND_ROUND
+from repro.core.trace import KIND_ROUND
 from repro.core.wire import Path
 
 STEPS = (1, 2, 3)
@@ -90,10 +95,10 @@ class _RoundState:
     broadcast_sent: set[int] = field(default_factory=set)
 
 
-class BinaryConsensus(ControlBlock):
-    """One binary consensus instance."""
+class BinaryConsensus(BCEngine):
+    """One binary consensus instance (the paper's Bracha-style rounds)."""
 
-    protocol = "bc"
+    engine_name = "bracha"
 
     def __init__(
         self,
@@ -103,57 +108,29 @@ class BinaryConsensus(ControlBlock):
         purpose: str | None = None,
     ):
         super().__init__(stack, path, parent, purpose)
-        self.proposal: int | None = None
-        self.decided = False
-        self.decision: int | None = None
-        self.decision_round: int | None = None
-        self.rounds_executed = 0
         self._rounds: dict[int, _RoundState] = {}
-        # (round, step) -> value this process broadcast; the invariant
-        # checker reads it to assert step-3 uniqueness across correct
-        # processes (the lemma the strict-majority bar exists for).
-        self._sent_values: dict[tuple[int, int], int | None] = {}
         self._halted = False
         # After deciding, participation in the (single) extra round is
         # armed but only triggered by a process that still needs it.
         self._armed_round: int | None = None
+        # round -> accepted step-3 counts (0s, 1s, ⊥s) snapshotted the
+        # moment the coin was tossed; the invariant checker asserts the
+        # coin branch was legal (no f+1 agreement, a full n-f quorum).
+        self._coin_rounds: dict[int, tuple[int, int, int]] = {}
         # Metrics bookkeeping (populated only while metrics are enabled):
         # stack-clock time each round and each (round, step) broadcast
         # started, consumed when the round/step completes.
         self._round_started_at: dict[int, float] = {}
         self._step_started_at: dict[tuple[int, int], float] = {}
 
-    # -- public API ---------------------------------------------------------------
-
-    def propose(self, value: int) -> None:
-        """Propose a bit and start round 1."""
-        if value not in (0, 1):
-            raise ValueError(f"binary consensus proposal must be 0 or 1, got {value!r}")
-        if self.proposal is not None:
-            raise ProtocolViolationError("already proposed on this instance")
-        self.proposal = value
+    def _begin(self, value: int) -> None:
         self._start_round(1, self._step_value(1, 1, value))
-
-    # -- adversary hooks ------------------------------------------------------------
-
-    def _step_value(self, round_number: int, step: int, computed: int | None) -> int | None:
-        """Value actually broadcast at (round, step).
-
-        Honest processes broadcast what the protocol computed; the
-        Byzantine faultload of Section 4.2 overrides this to always
-        push 0.
-        """
-        return computed
 
     # -- introspection ---------------------------------------------------------------
 
     def inspect(self) -> dict[str, Any]:
         state = super().inspect()
-        state["proposal"] = self.proposal
-        state["decided"] = self.decided
-        state["decision"] = self.decision
-        state["decision_round"] = self.decision_round
-        state["step_values"] = dict(self._sent_values)
+        state["coin_rounds"] = dict(self._coin_rounds)
         return state
 
     # -- round machinery ---------------------------------------------------------------
@@ -367,31 +344,14 @@ class BinaryConsensus(ControlBlock):
         if counts[1] >= decide_bar or counts[0] >= decide_bar:
             decided_value = 1 if counts[1] >= decide_bar else 0
             next_value = decided_value
-            if not self.decided:
-                self.decided = True
-                self.decision = decided_value
-                self.decision_round = round_number
-                self.stack.stats.record_decision(self.protocol, round_number)
-                if self.stack.tracer.enabled:
-                    self.stack.tracer.emit(
-                        self.me,
-                        KIND_DECIDE,
-                        self.path,
-                        value=decided_value,
-                        round=round_number,
-                    )
-                self.deliver(decided_value)
+            self._conclude(decided_value, round_number)
         elif counts[1] >= adopt_bar:
             next_value = 1
         elif counts[0] >= adopt_bar:
             next_value = 0
         else:
-            next_value = self.stack.toss_coin(self.path, round_number)
-            if metrics.enabled:
-                # The coin-value distribution: under the paper's shared
-                # coin every correct process counts the same value; a
-                # skewed local-coin distribution is a liveness smell.
-                metrics.counter("ritas_bc_coin_total", value=next_value).inc()
+            self._coin_rounds[round_number] = (counts[0], counts[1], counts[None])
+            next_value = self.toss(round_number)
         if self.decided and round_number > (self.decision_round or 0):
             # The post-decision round is complete; everyone who needed our
             # help to decide has had it.
@@ -409,3 +369,6 @@ class BinaryConsensus(ControlBlock):
         self._start_round(
             round_number + 1, self._step_value(round_number + 1, 1, next_value)
         )
+
+
+register_bc_engine("bracha", BinaryConsensus)

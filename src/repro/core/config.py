@@ -86,6 +86,17 @@ class GroupConfig:
             it the lowest-priority, oldest queued frame is shed --
             consensus-critical frames outlive payload and bulk
             transfers.  0 never sheds.
+        bc_engine: binary-consensus algorithm every stack in the group
+            runs -- a name registered in :mod:`repro.core.bc_engine`
+            ("bracha": the paper's Bracha-style rounds; "crain": the
+            Crain 2020 O(1)-expected-round algorithm, which requires
+            ``bc_coin="shared"``).  Must be identical group-wide.
+        bc_coin: default coin source for stacks built without an
+            explicit coin.  "local": an independent per-process coin
+            derived from the stack's seeded RNG stream (the paper's
+            Ben-Or coin); "shared": the runtimes deal a Rabin-style
+            shared coin so every correct process sees the same toss per
+            (instance, round).  Must be identical group-wide.
     """
 
     num_processes: int
@@ -108,6 +119,8 @@ class GroupConfig:
     ab_pending_cap: int = 0
     ab_msg_window: int = 65536
     send_queue_max_frames: int = 0
+    bc_engine: str = "bracha"
+    bc_coin: str = "local"
 
     def __post_init__(self) -> None:
         if self.num_processes < 1:
@@ -157,6 +170,19 @@ class GroupConfig:
             raise ConfigurationError("ab_msg_window must be >= 1")
         if self.send_queue_max_frames < 0:
             raise ConfigurationError("send_queue_max_frames must be >= 0")
+        if not isinstance(self.bc_engine, str) or not self.bc_engine:
+            raise ConfigurationError("bc_engine must be a non-empty engine name")
+        if self.bc_coin not in ("local", "shared"):
+            raise ConfigurationError(
+                f"bc_coin must be 'local' or 'shared', got {self.bc_coin!r}"
+            )
+        if self.bc_engine == "crain" and self.bc_coin != "shared":
+            # The stack also enforces requires_common_coin generically at
+            # build time; failing here catches the known-bad combination
+            # before any runtime is spun up.
+            raise ConfigurationError(
+                "bc_engine='crain' needs a common coin: set bc_coin='shared'"
+            )
 
     @property
     def n(self) -> int:

@@ -288,8 +288,16 @@ class ProtocolFactory:
         self._registry: dict[str, type[ControlBlock]] = dict(registry or {})
 
     @classmethod
-    def default(cls) -> "ProtocolFactory":
-        """Factory with the honest implementation of every layer."""
+    def default(cls, config: GroupConfig | None = None) -> "ProtocolFactory":
+        """Factory with the honest implementation of every layer.
+
+        With a *config*, the "bc" entry honours ``config.bc_engine``
+        (resolved through the :mod:`repro.core.bc_engine` registry);
+        without one, the paper's Bracha engine is used.  Resolution
+        happens *here*, before any adversarial override, so faultloads
+        that derive from the registered "bc" class corrupt whichever
+        engine the group is configured to run.
+        """
         # Imported here to avoid a cycle: protocol modules import this one.
         from repro.core.atomic_broadcast import AtomicBroadcast
         from repro.core.binary_consensus import BinaryConsensus
@@ -299,11 +307,17 @@ class ProtocolFactory:
         from repro.core.vector_consensus import VectorConsensus
         from repro.recovery.protocol import RecoveryProtocol
 
+        bc: type[ControlBlock] = BinaryConsensus
+        if config is not None and config.bc_engine != "bracha":
+            from repro.core.bc_engine import resolve_bc_engine
+
+            bc = resolve_bc_engine(config.bc_engine)
+
         return cls(
             {
                 "rb": ReliableBroadcast,
                 "eb": EchoBroadcast,
-                "bc": BinaryConsensus,
+                "bc": bc,
                 "mvc": MultiValuedConsensus,
                 "vc": VectorConsensus,
                 "ab": AtomicBroadcast,
@@ -338,8 +352,10 @@ class Stack:
         keystore: this process's pairwise secret keys.  When omitted, a
             deterministic dealer keyed on the group size is used -- fine
             for simulations, not for deployment.
-        coin: random-bit source for binary consensus (default: a local
-            coin over a fresh PRNG).
+        coin: random-bit source for binary consensus.  Default: a local
+            coin over a PRNG stream derived from the stack RNG (so
+            seeded stacks replay byte-identically); required explicitly
+            when ``config.bc_coin == "shared"`` (the runtime deals it).
         clock: monotonic time source used only for statistics.
         factory: protocol class registry (default: honest stack).
         ooc_capacity: bound on parked out-of-context messages; defaults
@@ -371,9 +387,31 @@ class Stack:
             keystore = dealer.keystore_for(process_id)
         self.keystore = keystore
         self.rng = rng if rng is not None else random.Random()
-        self.coin: CoinSource = coin if coin is not None else LocalCoin(self.rng)
+        if coin is None:
+            if config.bc_coin == "shared":
+                # The shared coin needs a group-wide dealer secret the
+                # stack cannot invent; the runtime must deal it.
+                raise ConfigurationError(
+                    "config.bc_coin='shared' but no coin was supplied: "
+                    "the runtime must deal SharedCoin instances"
+                )
+            # Dedicated stream *derived* from the stack RNG -- not
+            # self.rng itself, whose draw order runtimes may interleave
+            # with timing-dependent draws (reconnect jitter), and not
+            # the bare-LocalCoin() SystemRandom fallback, which breaks
+            # byte-identical same-seed replay.
+            coin = LocalCoin(random.Random(self.rng.getrandbits(64)))
+        self.coin: CoinSource = coin
         self.clock: Clock = clock if clock is not None else (lambda: 0.0)
-        self.factory = factory if factory is not None else ProtocolFactory.default()
+        self.factory = factory if factory is not None else ProtocolFactory.default(config)
+        bc_cls = self.factory._registry.get("bc")
+        if getattr(bc_cls, "requires_common_coin", False) and not getattr(
+            self.coin, "common", False
+        ):
+            raise ConfigurationError(
+                f"bc engine {getattr(bc_cls, 'engine_name', '?')!r} requires a "
+                "common coin, but the configured coin source is not common"
+            )
         self.stats = StackStats()
         #: Structured event recorder; NULL_TRACER by default (no cost).
         self.tracer = NULL_TRACER
@@ -868,4 +906,10 @@ class Stack:
     def toss_coin(self, instance_path: Path, round_number: int) -> int:
         """Obtain the round coin for a binary-consensus instance."""
         tag = "/".join(str(c) for c in instance_path).encode()
-        return self.coin.toss(tag, round_number)
+        value = self.coin.toss(tag, round_number)
+        if self.metrics.enabled:
+            # Counted at toss time -- not on the adopt-coin path -- so
+            # the coin-skew gauge covers every tossed round, including
+            # ones where a-priori agreement made the toss moot.
+            self.metrics.counter("ritas_bc_coin_total", value=value).inc()
+        return value

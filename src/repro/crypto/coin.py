@@ -20,7 +20,14 @@ from typing import Protocol
 
 
 class CoinSource(Protocol):
-    """Interface binary consensus uses to obtain its round coins."""
+    """Interface binary consensus uses to obtain its round coins.
+
+    Implementations that guarantee every correct process the *same*
+    toss per (instance, round) advertise ``common = True``; consensus
+    engines whose safety depends on that property (``requires_common_coin``
+    in :mod:`repro.core.bc_engine`) are refused by the stack over a
+    coin that does not.
+    """
 
     def toss(self, instance: bytes, round_number: int) -> int:
         """Return an unbiased bit in {0, 1} for the given round."""
@@ -31,8 +38,15 @@ class LocalCoin:
     """Ben-Or local coin: an independent unbiased bit per toss.
 
     The generator is injectable so that simulations are reproducible;
-    pass no argument for a securely seeded coin.
+    pass no argument for a securely seeded coin.  Note that a stack
+    built without an explicit coin does NOT take that default: it
+    derives a dedicated ``random.Random`` stream from its seeded RNG,
+    preserving byte-identical same-seed replay (the bare-``LocalCoin()``
+    SystemRandom fallback exists for standalone/production use only).
     """
+
+    #: Tosses are process-local: two correct processes may disagree.
+    common = False
 
     def __init__(self, rng: random.Random | None = None):
         self._rng = rng if rng is not None else random.SystemRandom()
@@ -60,6 +74,10 @@ class SharedCoinDealer:
 
 class SharedCoin:
     """A coin whose tosses agree across all holders of the dealer secret."""
+
+    #: Every holder of the dealer secret sees the same toss per
+    #: (instance, round) -- safe under engines that require a common coin.
+    common = True
 
     def __init__(self, secret: bytes):
         self._secret = secret

@@ -78,6 +78,7 @@ def run_burst(
     max_time: float = 900.0,
     batching: bool = True,
     metrics: bool = True,
+    config_kwargs: dict | None = None,
 ) -> BurstResult:
     """Run one burst and return its measurements (observer is a correct
     process; the burst is split evenly across the live senders).
@@ -85,9 +86,11 @@ def run_burst(
     With *batching* on (the default) each sender hands its share of the
     burst to the channel in one flush window, so frames coalesce into
     batches all the way down the stack; off reproduces the unbatched
-    per-frame traffic."""
+    per-frame traffic.  Extra :class:`GroupConfig` knobs (e.g.
+    ``bc_engine`` / ``bc_coin`` for engine head-to-heads) pass through
+    *config_kwargs*."""
     plan = _fault_plan(faultload, n)
-    config = GroupConfig(n, batching=batching)
+    config = GroupConfig(n, batching=batching, **(config_kwargs or {}))
     sim = LanSimulation(
         config, seed=seed, ipsec=ipsec, params=params, fault_plan=plan
     )

@@ -151,7 +151,7 @@ class LanSimulation:
         jitter_s: float = 0.0,
         tie_break_seed: int | None = None,
         base_factory: ProtocolFactory | None = None,
-        shared_coin: bool = False,
+        shared_coin: bool | None = None,
         link_model: LinkModel | None = None,
     ):
         if config is None:
@@ -200,11 +200,17 @@ class LanSimulation:
         self._link_pending: dict[tuple[int, int], BoundedSendQueue] = {}
 
         self._dealer = TrustedDealer(config.num_processes, seed=str(seed).encode())
+        # shared_coin=None (the default) follows config.bc_coin; the
+        # explicit bool keeps the older call sites working and lets tests
+        # force a shared coin under a local-coin config.
+        use_shared = (
+            shared_coin if shared_coin is not None else config.bc_coin == "shared"
+        )
         self._coin_dealer = (
-            SharedCoinDealer(secret=f"coin/{seed}".encode()) if shared_coin else None
+            SharedCoinDealer(secret=f"coin/{seed}".encode()) if use_shared else None
         )
         self._honest_factory = (
-            base_factory if base_factory is not None else ProtocolFactory.default()
+            base_factory if base_factory is not None else ProtocolFactory.default(config)
         )
         # Incarnation counter per process: frames in flight to or from an
         # earlier incarnation are dropped on arrival (the restart killed

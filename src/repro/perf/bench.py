@@ -40,7 +40,7 @@ AREAS = ("wire", "mac", "sim", "tcp")
 #: Extra opt-in areas, selected explicitly with ``--area`` and written
 #: to their own trajectory file (e.g. ``--area gateway --out
 #: BENCH_gateway.json``).
-EXTRA_AREAS = ("gateway",)
+EXTRA_AREAS = ("gateway", "bc")
 ALL_AREAS = AREAS + EXTRA_AREAS
 
 #: Histogram every runtime records per-message AB delivery latency into.
@@ -369,6 +369,36 @@ def bench_gateway(quick: bool) -> dict[str, float]:
     return asyncio.run(scenario())
 
 
+# -- bc engines --------------------------------------------------------------
+
+
+def bench_bc(quick: bool) -> dict[str, float]:
+    """Head-to-head of the binary-consensus engines (see
+    :mod:`repro.eval.bc_compare`).
+
+    Per (engine, coin) pair: Table-1-style isolated decision latency
+    (simulated seconds -- comparable across runs, not a host rate),
+    atomic-broadcast burst throughput with the engine under every
+    agreement round, and the rounds-to-decide distribution over shuffled
+    adversarial schedules with the paper's always-zero attacker.  The
+    engine-separating number is the rounds tail: local-coin Bracha's is
+    visible, the shared-coin pairs stay bounded.
+    """
+    from repro.eval.bc_compare import head_to_head
+
+    samples = 30 if quick else 120
+    table = head_to_head(samples=samples, attacker=True)
+    report: dict[str, float] = {"samples": float(samples)}
+    for key, row in table.items():
+        tag = key.replace("+", "_")
+        report[f"{tag}_latency_s"] = row["isolated_latency_s"]
+        report[f"{tag}_burst_msgs_s"] = row["burst_throughput_msgs_s"]
+        report[f"{tag}_rounds_mean"] = row["rounds_mean"]
+        report[f"{tag}_rounds_max"] = float(row["rounds_max"])
+        report[f"{tag}_rounds_tail_gt2"] = float(row["rounds_tail_gt2"])
+    return report
+
+
 # -- report ------------------------------------------------------------------
 
 _AREA_FNS: dict[str, Callable[[bool], dict[str, float]]] = {
@@ -377,6 +407,7 @@ _AREA_FNS: dict[str, Callable[[bool], dict[str, float]]] = {
     "sim": bench_sim,
     "tcp": bench_tcp,
     "gateway": bench_gateway,
+    "bc": bench_bc,
 }
 
 #: Metrics where bigger is better; only these enter the speedup block

@@ -20,10 +20,12 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.config import GroupConfig
+from repro.core.errors import ConfigurationError
 from repro.core.sendq import BoundedSendQueue
 from repro.core.stack import ProtocolFactory, Stack
 from repro.core.trace import KIND_SHED
 from repro.core.wire import encode_batch
+from repro.crypto.coin import CoinSource, SharedCoinDealer
 from repro.crypto.keys import KeyStore
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.framing import MAC_LEN, FrameCodec, FramingError, peek_src
@@ -112,7 +114,15 @@ class RitasNode:
             jitter, local consensus coins) comes from a ``random.Random``
             seeded on ``(seed, n, process_id)``, making runs replayable;
             when omitted (production), draws stay OS-random so the
-            group's jitter cannot be predicted by an attacker.
+            group's jitter cannot be predicted by an attacker.  The
+            stack's coin draws come from a *derived* stream, so they
+            stay replayable even though the jitter draws interleave with
+            network timing.
+        coin: explicit coin source for binary consensus.  Default: the
+            stack derives a local coin from the node RNG; with
+            ``config.bc_coin == "shared"`` a seed is required and the
+            node derives the group's shared-coin dealer secret from it
+            (every node of a same-seed group deals the same coin).
     """
 
     def __init__(
@@ -125,6 +135,7 @@ class RitasNode:
         factory: ProtocolFactory | None = None,
         connect_retry_s: float | None = None,
         seed: int | None = None,
+        coin: CoinSource | None = None,
     ):
         if len(addresses) != config.num_processes:
             raise ValueError("need one address per process")
@@ -140,6 +151,16 @@ class RitasNode:
             if seed is not None
             else random.Random()
         )
+        if coin is None and config.bc_coin == "shared":
+            if seed is None:
+                raise ConfigurationError(
+                    "config.bc_coin='shared' needs either an explicit coin "
+                    "or a seed to derive the group's dealer secret from"
+                )
+            dealer = SharedCoinDealer(
+                secret=f"ritas-coin/{seed}/{config.num_processes}".encode()
+            )
+            coin = dealer.coin_for(process_id)
         self.stack = Stack(
             config,
             process_id,
@@ -148,6 +169,7 @@ class RitasNode:
             clock=time.monotonic,
             factory=factory,
             rng=self.rng,
+            coin=coin,
         )
         self._server: asyncio.base_events.Server | None = None
         self._writers: dict[int, asyncio.StreamWriter] = {}

@@ -18,6 +18,7 @@ from collections import deque
 
 from repro.core.config import GroupConfig
 from repro.core.stack import ProtocolFactory, Stack
+from repro.crypto.coin import SharedCoinDealer
 from repro.crypto.keys import TrustedDealer
 
 
@@ -37,6 +38,11 @@ class _BaseNet:
         n = self.config.num_processes
         self.crashed = set(crashed or ())
         dealer = TrustedDealer(n, seed=str(seed).encode())
+        coin_dealer = (
+            SharedCoinDealer(secret=f"coin/{seed}".encode())
+            if self.config.bc_coin == "shared"
+            else None
+        )
         self.stacks: list[Stack] = []
         for pid in range(n):
             factory = (factories or {}).get(pid)
@@ -47,6 +53,7 @@ class _BaseNet:
                 keystore=dealer.keystore_for(pid),
                 factory=factory,
                 rng=random.Random(f"{seed}/{pid}"),
+                coin=coin_dealer.coin_for(pid) if coin_dealer else None,
             )
             self.stacks.append(stack)
 
