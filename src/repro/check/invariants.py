@@ -155,7 +155,19 @@ class InvariantChecker:
         self._dirty: set[Path] = set()
         for pid, stack in enumerate(sim.stacks):
             self._instrument(pid, stack)
-        sim.loop.on_event = self._on_event
+        # Chain rather than overwrite: several simulations (shards) may
+        # share one EventLoop, each with its own checker; every checker
+        # in the chain still runs after every event.
+        previous_on_event = sim.loop.on_event
+        if previous_on_event is None:
+            sim.loop.on_event = self._on_event
+        else:
+
+            def chained() -> None:
+                previous_on_event()
+                self._on_event()
+
+            sim.loop.on_event = chained
         # A restarted process gets a fresh stack; re-instrument it (the
         # restart also cleared its crash entry, making it correct again).
         previous_hook = sim.on_stack_rebuilt

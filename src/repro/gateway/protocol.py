@@ -24,6 +24,11 @@ Statuses:
   bound (:class:`repro.core.errors.BackpressureError`); *detail* is
   ``[pending, cap, retry_after_ms]``.  The operation was **not**
   replicated; the client should back off and resubmit.
+- ``wrong-shard`` -- the key's owning shard is not hosted by this
+  gateway, or a multi-key op spans shards (forbidden; see
+  :mod:`repro.shard.router`).  *detail* is ``[owner_index, owner_name,
+  message]`` -- the owner hint a client uses to redirect.  The
+  operation was **not** replicated.
 - ``error`` -- the request was malformed or named an unknown op;
   *detail* is a message string.
 
@@ -50,6 +55,7 @@ MAX_CLIENT_FRAME = 4 * 1024 * 1024
 STATUS_OK = "ok"
 STATUS_RETRY = "retry-after"
 STATUS_ERROR = "error"
+STATUS_WRONG_SHARD = "wrong-shard"
 
 #: Request id echoed on ``error`` responses whose originating request id
 #: could not be recovered (undecodable or shapeless body).  Reserved:
@@ -63,6 +69,7 @@ OPS = {
     "get": 1,  # key
     "delete": 1,  # key
     "cas": 3,  # key, expected, value
+    "mput": 1,  # [[key, value], ...] -- atomic, must be single-shard
     "acquire": 2,  # lock name, client tag
     "release": 2,  # lock name, client tag
     "ping": 0,

@@ -35,6 +35,7 @@ lost or duplicated acknowledged writes" against the replicated log.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import logging
 import time
 from collections import deque
@@ -44,17 +45,21 @@ from typing import Any
 from repro.apps.kv_store import KvCommand, ReplicatedKvStore
 from repro.apps.lock_service import DistributedLockService
 from repro.apps.state_machine import Command, ReplicatedStateMachine
+from repro.core.stack import Stack
 from repro.gateway.protocol import (
     READ_OPS,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_RETRY,
+    STATUS_WRONG_SHARD,
     UNCORRELATED_ID,
     ClientProtocolError,
     FrameReader,
     decode_request,
     encode_response,
 )
+from repro.shard.ring import ShardMap
+from repro.shard.router import ShardRouter, WrongShardError
 from repro.transport.tcp import RitasNode
 
 logger = logging.getLogger(__name__)
@@ -67,6 +72,7 @@ METRIC_SESSIONS_TOTAL = "gateway_sessions_total"
 METRIC_INFLIGHT = "gateway_inflight_ops"
 METRIC_SEND_QUEUE = "gateway_send_queue_frames"
 METRIC_SESSIONS_DROPPED = "gateway_sessions_dropped_total"
+METRIC_INTERNAL_ERRORS = "gateway_internal_errors_total"
 
 #: Path prefix of the gateway's replicated services on every replica's
 #: stack (all replicas must host the same service instances).
@@ -88,10 +94,42 @@ class GatewayServices:
 
     @classmethod
     def attach(cls, node: RitasNode) -> "GatewayServices":
+        return cls.attach_stack(node.stack)
+
+    @classmethod
+    def attach_stack(cls, stack: Stack) -> "GatewayServices":
+        """Attach the service pair to one stack -- per shard stack on a
+        sharded host (every shard's AB instances live at the same paths;
+        the stacks are independent, so the paths never collide)."""
         return cls(
-            kv=ReplicatedKvStore(node.stack.create("ab", SERVICE_PATH_KV)),
-            locks=DistributedLockService(node.stack.create("ab", SERVICE_PATH_LOCK)),
+            kv=ReplicatedKvStore(stack.create("ab", SERVICE_PATH_KV)),
+            locks=DistributedLockService(stack.create("ab", SERVICE_PATH_LOCK)),
         )
+
+
+def attach_router(
+    node: RitasNode,
+    shard_map: ShardMap,
+    hosted: "list[int] | None" = None,
+) -> ShardRouter:
+    """Attach gateway services to every hosted shard of *node* and wrap
+    them in a :class:`~repro.shard.router.ShardRouter`.
+
+    *node* is usually a :class:`~repro.shard.ShardedNode` whose shard
+    order matches *shard_map*'s name order; a plain node hosts shard 0
+    only.  *hosted* restricts which shards this gateway fronts (default:
+    every stack the node runs) -- operations owned by unhosted shards
+    are answered ``wrong-shard`` with the owner hint.
+    """
+    stacks: list[Stack] = getattr(node, "shard_stacks", None) or [node.stack]
+    if len(stacks) > len(shard_map):
+        raise ValueError(
+            f"node hosts {len(stacks)} shards but the map names {len(shard_map)}"
+        )
+    if hosted is None:
+        hosted = list(range(len(stacks)))
+    services = {index: GatewayServices.attach_stack(stacks[index]) for index in hosted}
+    return ShardRouter(shard_map, services)
 
 
 class _Session:
@@ -147,9 +185,19 @@ class ClientGateway:
 
     Args:
         node: the replica this gateway rides on (must be started by the
-            caller; the gateway shares its event loop and stack).
-        services: the replicated services to front (attach the same
-            services on every replica of the group).
+            caller; the gateway shares its event loop and stack).  A
+            :class:`~repro.shard.ShardedNode` hosts one stack per shard.
+        services: the replicated services to front -- either one
+            :class:`GatewayServices` (unsharded; attach the same
+            services on every replica) or a
+            :class:`~repro.shard.router.ShardRouter` (from
+            :func:`attach_router`), in which case every client op is
+            demultiplexed to the shard owning its key and ops owned by
+            unhosted shards are answered ``wrong-shard`` with the
+            ``[owner_index, owner_name, message]`` redirect hint.
+            Multi-key ops (``mput``) whose keys span shards are
+            *forbidden* and answered the same way (cross-shard commits
+            are measured, not executed; see ROADMAP).
         local_reads: serve ``get`` from the local replica's current
             state instead of ordering it -- cheap but stale by up to the
             replica's delivery lag; see docs/GATEWAY.md for the caveats.
@@ -170,7 +218,7 @@ class ClientGateway:
     def __init__(
         self,
         node: RitasNode,
-        services: GatewayServices,
+        services: "GatewayServices | ShardRouter",
         *,
         local_reads: bool = False,
         max_sessions: int = 10_000,
@@ -180,7 +228,25 @@ class ClientGateway:
         sweep_interval_s: float = 1.0,
     ):
         self.node = node
-        self.services = services
+        #: The routing tier; a plain service pair is wrapped as a
+        #: single-shard router, so there is exactly one request path.
+        self.router: ShardRouter = (
+            services
+            if isinstance(services, ShardRouter)
+            else ShardRouter.single(services)
+        )
+        if not self.router.services:
+            raise ValueError("gateway needs at least one hosted shard")
+        #: First hosted shard's services (unsharded callers see their
+        #: original object here).
+        self.services: GatewayServices = self.router.services[self.router.hosted[0]]
+        # The stacks whose coalescing windows bracket request handling;
+        # on a sharded node each hosted shard contributes its own.
+        node_stacks: list[Stack] = getattr(node, "shard_stacks", None) or [node.stack]
+        self._hosted_stacks: list[Stack] = [
+            node_stacks[index] if index < len(node_stacks) else node.stack
+            for index in self.router.hosted
+        ]
         self.local_reads = local_reads
         self.max_sessions = max_sessions
         self.session_send_queue = session_send_queue
@@ -190,12 +256,14 @@ class ClientGateway:
         self._server: asyncio.base_events.Server | None = None
         self._http_server: asyncio.base_events.Server | None = None
         self._sessions: dict[int, _Session] = {}
-        #: Keyed by (service name, AB msg_id).  The service name matters:
-        #: kv and locks are independent AtomicBroadcast instances whose
-        #: rbid counters both start at 0, so a bare (sender, rbid) is NOT
-        #: unique across them -- a pipelined first put and first acquire
-        #: would collide and settle each other's requests.
-        self._pending: dict[tuple[str, tuple[int, int]], _PendingOp] = {}
+        #: Keyed by (shard index, service name, AB msg_id).  The service
+        #: name matters: kv and locks are independent AtomicBroadcast
+        #: instances whose rbid counters both start at 0, so a bare
+        #: (sender, rbid) is NOT unique across them -- a pipelined first
+        #: put and first acquire would collide and settle each other's
+        #: requests.  The shard index matters for the same reason one
+        #: level up: every shard's kv instance also numbers from 0.
+        self._pending: dict[tuple[int, str, tuple[int, int]], _PendingOp] = {}
         self._next_sid = 0
         self._sweep_task: asyncio.Task | None = None
         self._closed = False
@@ -204,11 +272,18 @@ class ClientGateway:
         self.ops_retry_after = 0
         self.ops_error = 0
         self.ops_timeout = 0
+        self.ops_wrong_shard = 0
         self.sessions_total = 0
         self.sessions_dropped = 0
+        #: Failures attributed inside gateway plumbing (see
+        #: :meth:`_internal_error`) -- never silently swallowed.
+        self.internal_errors = 0
+        self._logged_error_types: set[tuple[str, str]] = set()
         self._clock = time.monotonic
-        self._chain_applied("kv", services.kv.rsm)
-        self._chain_applied("locks", services.locks.rsm)
+        for shard_index in self.router.hosted:
+            shard_services = self.router.services[shard_index]
+            self._chain_applied(shard_index, "kv", shard_services.kv.rsm)
+            self._chain_applied(shard_index, "locks", shard_services.locks.rsm)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -319,6 +394,36 @@ class ClientGateway:
                 if task is not asyncio.current_task():
                     task.cancel()
 
+    def _internal_error(self, context: str, exc: BaseException) -> None:
+        """Account a failure inside gateway plumbing instead of
+        swallowing it.
+
+        Every occurrence increments :attr:`internal_errors` and the
+        ``gateway_internal_errors_total`` counter (labeled by *context*
+        and exception type); each distinct (context, type) pair is
+        logged once with its detail, so a repeating failure is loud in
+        the log exactly once and fully visible in the counters --
+        silent drops are how the PR 7 correlation bug class hid.
+        """
+        self.internal_errors += 1
+        error_type = type(exc).__name__
+        metrics = self.node.stack.metrics
+        if metrics.enabled:
+            metrics.counter(
+                METRIC_INTERNAL_ERRORS, context=context, error=error_type
+            ).inc()
+        key = (context, error_type)
+        if key not in self._logged_error_types:
+            self._logged_error_types.add(key)
+            logger.warning(
+                "gateway internal error in %s: %s: %s "
+                "(logged once per error type; see %s)",
+                context,
+                error_type,
+                exc,
+                METRIC_INTERNAL_ERRORS,
+            )
+
     def _teardown_session(self, session: _Session) -> list[asyncio.Task]:
         """Mark *session* closed and return its tasks for cancellation."""
         session.closed = True
@@ -326,8 +431,10 @@ class ClientGateway:
         self._sessions.pop(session.sid, None)
         try:
             session.writer.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            # A transport refusing to close is survivable -- the session
+            # is gone either way -- but never silently: attribute it.
+            self._internal_error("session-teardown", exc)
         tasks = []
         for task in (session.reader_task, session.writer_task):
             if task is not None and not task.done():
@@ -360,12 +467,17 @@ class ClientGateway:
     def _handle_frames(self, session: _Session, frames: list[bytes]) -> None:
         """Process one read-wakeup's worth of pipelined requests.
 
-        All submissions triggered here share one coalescing window, so
-        the replica sends them as batched channel units -- this is where
-        client pipelining turns into atomic-broadcast batching.
+        All submissions triggered here share one coalescing window per
+        hosted shard, so each replica stack sends them as batched
+        channel units -- this is where client pipelining turns into
+        atomic-broadcast batching.  On a sharded node the windows of
+        every hosted stack are opened together: one wakeup's requests
+        batch per shard, and the transport's drain-batch merge then
+        packs the *shards'* units into shared link batches.
         """
-        stack = self.node.stack
-        with stack.coalesce():
+        with contextlib.ExitStack() as windows:
+            for stack in self._hosted_stacks:
+                windows.enter_context(stack.coalesce())
             for body in frames:
                 self._handle_request(session, body)
 
@@ -384,12 +496,19 @@ class ClientGateway:
             self._respond(session, request_id, STATUS_OK, [None, None, "pong"], op=op, started=now)
             return
         try:
-            command, key, service, rsm = self._build_command(session, op, args)
+            shard, command, key, service, rsm = self._build_command(session, op, args)
+        except WrongShardError as exc:
+            # Forbid-and-measure: the op was NOT replicated.  The owner
+            # hint lets the client redirect (or, for a cross-shard
+            # multi-key op, split) instead of retrying blindly.
+            detail = [exc.owner_index, exc.owner_name, str(exc)]
+            self._respond(session, request_id, STATUS_WRONG_SHARD, detail, op=op, started=now)
+            return
         except ClientProtocolError as exc:
             self._respond(session, request_id, STATUS_ERROR, str(exc), op=op, started=now)
             return
         if op in READ_OPS and self.local_reads:
-            value = self.services.kv.get(key)
+            value = self.router.services[shard].kv.get(key)
             self._respond(session, request_id, STATUS_OK, [None, None, value], op=op, started=now)
             return
         msg_id = rsm.try_submit(command)
@@ -397,45 +516,57 @@ class ClientGateway:
             pending, cap = rsm.admission()
             # Scale the backoff hint by how far past the bound the
             # replica is: a deeply backed-up replica asks for more air.
+            # Admission is per shard -- one backed-up shard sheds its
+            # own load while its siblings keep accepting.
             factor = 1 + (pending // cap if cap else 0)
             detail = [pending, cap, self.retry_after_ms * factor]
             self._respond(session, request_id, STATUS_RETRY, detail, op=op, started=now)
             return
         session.inflight += 1
-        self._pending[(service, msg_id)] = _PendingOp(session.sid, request_id, op, key, now)
+        self._pending[(shard, service, msg_id)] = _PendingOp(
+            session.sid, request_id, op, key, now
+        )
 
     def _build_command(
         self, session: _Session, op: str, args: list[Any]
-    ) -> tuple[Command, str | None, str, ReplicatedStateMachine]:
-        """Translate one client request into a replicated command.
+    ) -> tuple[int, Command, str | None, str, ReplicatedStateMachine]:
+        """Translate one client request into a replicated command on the
+        owning shard.
 
-        Returns ``(command, key, service, rsm)`` -- *service* names the
-        RSM ("kv"/"locks") and keys the pending table alongside the AB
-        msg_id, which is only unique per AB instance.
+        Returns ``(shard, command, key, service, rsm)`` -- *shard* and
+        *service* ("kv"/"locks") key the pending table alongside the AB
+        msg_id, which is only unique per AB instance.  Lock names route
+        exactly like KV keys (a lock lives on the shard owning its
+        name), so lock safety stays single-stream per lock.
 
         Type errors are rejected *here*, with a message, rather than
-        ordered and no-opped by the state machine's defensive apply.
+        ordered and no-opped by the state machine's defensive apply;
+        routing errors raise :class:`WrongShardError` (the caller turns
+        them into ``wrong-shard`` responses, never submissions).
         """
-        kv = self.services.kv.rsm
-        locks = self.services.locks.rsm
         if op == "put":
             key, value = args
             if not isinstance(key, str) or not isinstance(value, bytes):
                 raise ClientProtocolError("put takes (str key, bytes value)")
-            return KvCommand.put(key, value), key, "kv", kv
+            shard, services = self.router.route(key)
+            return shard, KvCommand.put(key, value), key, "kv", services.kv.rsm
         if op == "get":
             (key,) = args
             if not isinstance(key, str):
                 raise ClientProtocolError("get takes (str key)")
             # Ordered read: an op the KV apply function treats as a
             # deterministic no-op; the gateway answers from the state at
-            # its serialization point.
-            return Command("get", [key]), key, "kv", kv
+            # its serialization point (total per shard -- exactly the
+            # consistency sharding promises: per-key order, no
+            # cross-shard order).
+            shard, services = self.router.route(key)
+            return shard, Command("get", [key]), key, "kv", services.kv.rsm
         if op == "delete":
             (key,) = args
             if not isinstance(key, str):
                 raise ClientProtocolError("delete takes (str key)")
-            return KvCommand.delete(key), key, "kv", kv
+            shard, services = self.router.route(key)
+            return shard, KvCommand.delete(key), key, "kv", services.kv.rsm
         if op == "cas":
             key, expected, value = args
             if (
@@ -444,39 +575,71 @@ class ClientGateway:
                 or not isinstance(value, bytes)
             ):
                 raise ClientProtocolError("cas takes (str, bytes|None, bytes)")
-            return KvCommand.cas(key, expected, value), key, "kv", kv
+            shard, services = self.router.route(key)
+            return shard, KvCommand.cas(key, expected, value), key, "kv", services.kv.rsm
+        if op == "mput":
+            (pairs,) = args
+            if (
+                not isinstance(pairs, list)
+                or not pairs
+                or not all(
+                    isinstance(pair, list)
+                    and len(pair) == 2
+                    and isinstance(pair[0], str)
+                    and isinstance(pair[1], bytes)
+                    for pair in pairs
+                )
+            ):
+                raise ClientProtocolError(
+                    "mput takes a non-empty list of [str key, bytes value] pairs"
+                )
+            keys = [pair[0] for pair in pairs]
+            # All keys must share one hosted owner; spanning shards
+            # raises CrossShardError (a WrongShardError) -- forbidden
+            # and measured, never partially applied.
+            shard, services = self.router.route_many(keys)
+            command = KvCommand.mput([(k, v) for k, v in pairs])
+            return shard, command, keys[0], "kv", services.kv.rsm
         if op in ("acquire", "release"):
             name, tag = args
             if not isinstance(name, str) or not isinstance(tag, str):
                 raise ClientProtocolError(f"{op} takes (str name, str tag)")
+            shard, services = self.router.route(name)
+            locks = services.locks.rsm
             # Lock identity is (replica, tag); scope the tag to this
             # session so independent clients sharing the gateway never
             # alias each other's holdership.
             scoped = f"s{session.sid}:{tag}"
-            return Command(op, [name, locks.replica_id, scoped]), name, "locks", locks
+            command = Command(op, [name, locks.replica_id, scoped])
+            return shard, command, name, "locks", locks
         raise ClientProtocolError(f"unknown op {op!r}")
 
     # -- completion ------------------------------------------------------------------
 
-    def _chain_applied(self, service: str, rsm: ReplicatedStateMachine) -> None:
+    def _chain_applied(
+        self, shard: int, service: str, rsm: ReplicatedStateMachine
+    ) -> None:
         """Hook *rsm*'s apply stream without displacing existing hooks
-        (the lock service installs its own ``on_applied``).  *service*
-        disambiguates the pending table: each RSM's AB instance numbers
-        its rbids independently, so msg_ids alone collide across RSMs.
+        (the lock service installs its own ``on_applied``).  *shard* and
+        *service* disambiguate the pending table: each RSM's AB instance
+        numbers its rbids independently, so msg_ids alone collide both
+        across services and across shards.
         """
         previous = rsm.on_applied
 
         def on_applied(delivery, command: Command, result: Any) -> None:
             if previous is not None:
                 previous(delivery, command, result)
-            self._on_applied(service, delivery, command, result)
+            self._on_applied(shard, service, delivery, command, result)
 
         rsm.on_applied = on_applied
 
-    def _on_applied(self, service: str, delivery, command: Command, result: Any) -> None:
+    def _on_applied(
+        self, shard: int, service: str, delivery, command: Command, result: Any
+    ) -> None:
         if delivery.sender != self.node.process_id:
             return
-        pending = self._pending.pop((service, delivery.msg_id), None)
+        pending = self._pending.pop((shard, service, delivery.msg_id), None)
         if pending is None:
             return
         session = self._sessions.get(pending.sid)
@@ -484,9 +647,10 @@ class ClientGateway:
             return
         session.inflight -= 1
         if pending.op == "get":
-            # The read's serialization point is *this* apply: the local
-            # state now reflects every write ordered before it.
-            result = self.services.kv.get(pending.key)
+            # The read's serialization point is *this* apply: the owning
+            # shard's local state now reflects every write ordered
+            # before it on that shard's stream.
+            result = self.router.services[shard].kv.get(pending.key)
         detail = [delivery.sender, delivery.rbid, result]
         self._respond(
             session,
@@ -511,6 +675,8 @@ class ClientGateway:
             self.ops_ok += 1
         elif status == STATUS_RETRY:
             self.ops_retry_after += 1
+        elif status == STATUS_WRONG_SHARD:
+            self.ops_wrong_shard += 1
         else:
             self.ops_error += 1
         metrics = self.node.stack.metrics
@@ -576,17 +742,21 @@ class ClientGateway:
 
     def status(self) -> dict[str, Any]:
         """JSON-ready snapshot served by the HTTP status endpoint."""
-        # Admission is per service: kv and locks ride independent AB
-        # instances, each with its own pending count against the shared
-        # configured cap -- retry-afters come from whichever refused.
-        admission = {
-            service: dict(zip(("pending", "cap"), rsm.admission()))
-            for service, rsm in (
-                ("kv", self.services.kv.rsm),
-                ("locks", self.services.locks.rsm),
-            )
-        }
-        return {
+
+        # Admission is per (shard, service): every shard's kv and locks
+        # ride independent AB instances, each with its own pending count
+        # against the configured cap -- retry-afters come from whichever
+        # refused, and one backed-up shard never throttles its siblings.
+        def _admission(services: GatewayServices) -> dict[str, dict[str, int]]:
+            return {
+                service: dict(zip(("pending", "cap"), rsm.admission()))
+                for service, rsm in (
+                    ("kv", services.kv.rsm),
+                    ("locks", services.locks.rsm),
+                )
+            }
+
+        status: dict[str, Any] = {
             "process": self.node.process_id,
             "group_size": self.node.config.num_processes,
             "local_reads": self.local_reads,
@@ -598,5 +768,21 @@ class ClientGateway:
             "ops_retry_after": self.ops_retry_after,
             "ops_error": self.ops_error,
             "ops_timeout": self.ops_timeout,
-            "admission": admission,
+            "internal_errors": self.internal_errors,
+            # The first hosted shard's admission keeps the pre-sharding
+            # shape (unsharded deployments are exactly this).
+            "admission": _admission(self.services),
         }
+        if not self.router.is_single:
+            status["shards"] = {
+                "names": list(self.router.map.names),
+                "hosted": [self.router.name_of(i) for i in self.router.hosted],
+                "ops_wrong_shard": self.ops_wrong_shard,
+                "wrong_shard_total": self.router.wrong_shard_total,
+                "cross_shard_total": self.router.cross_shard_total,
+                "admission": {
+                    self.router.name_of(index): _admission(services)
+                    for index, services in sorted(self.router.services.items())
+                },
+            }
+        return status

@@ -137,6 +137,17 @@ class LanSimulation:
             duplication, reordering, detectable corruption) and
             per-host CPU slowdown factors.  Bound to *seed* here; the
             default ``None`` keeps the seed-exact symmetric LAN.
+        loop: an existing :class:`~repro.net.simulator.EventLoop` to
+            schedule on instead of building a private one.  Several
+            simulations sharing one loop advance in a single global
+            virtual-time order -- how :class:`repro.shard` runs S
+            independent groups side by side.  Mutually exclusive with
+            ``tie_break_seed`` (the loop owner decides tie-breaking).
+        hosts: existing per-process :class:`_Host` resource bundles to
+            contend on instead of fresh ones.  Passing another
+            simulation's hosts colocates both groups on the same
+            machines: their traffic shares CPU/NIC serialization, the
+            honest model for S shards on one box.
     """
 
     def __init__(
@@ -153,6 +164,8 @@ class LanSimulation:
         base_factory: ProtocolFactory | None = None,
         shared_coin: bool | None = None,
         link_model: LinkModel | None = None,
+        loop: EventLoop | None = None,
+        hosts: "list[_Host] | None" = None,
     ):
         if config is None:
             if n is None:
@@ -166,13 +179,20 @@ class LanSimulation:
         self.fault_plan.validate(config.num_processes, config.num_faulty)
         self.jitter_s = jitter_s
         self.tie_break_seed = tie_break_seed
-        self.loop = EventLoop(
-            tie_break_rng=(
-                random.Random(f"{seed}/tie/{tie_break_seed}")
-                if tie_break_seed is not None
-                else None
+        if loop is not None:
+            if tie_break_seed is not None:
+                raise ValueError(
+                    "tie_break_seed belongs to the loop owner when sharing a loop"
+                )
+            self.loop = loop
+        else:
+            self.loop = EventLoop(
+                tie_break_rng=(
+                    random.Random(f"{seed}/tie/{tie_break_seed}")
+                    if tie_break_seed is not None
+                    else None
+                )
             )
-        )
         # One jitter RNG per ordered link, derived lazily from the master
         # seed: a shared stream would make each link's delay draws depend
         # on the interleaving of *all* traffic, wrecking replay/shrink
@@ -199,7 +219,13 @@ class LanSimulation:
         # with priority-aware shedding (0 = unbounded, seed behaviour).
         self._link_pending: dict[tuple[int, int], BoundedSendQueue] = {}
 
-        self._dealer = TrustedDealer(config.num_processes, seed=str(seed).encode())
+        # Key and coin material is scoped by config.group_tag: two
+        # same-seed groups (shards) must not share pairwise MACs or see
+        # each other's coin sequence.  An untagged group derives the
+        # exact pre-sharding bytes, keeping same-seed replay identical.
+        self._dealer = TrustedDealer(
+            config.num_processes, seed=config.scoped_seed_bytes(str(seed).encode())
+        )
         # shared_coin=None (the default) follows config.bc_coin; the
         # explicit bool keeps the older call sites working and lets tests
         # force a shared coin under a local-coin config.
@@ -207,7 +233,9 @@ class LanSimulation:
             shared_coin if shared_coin is not None else config.bc_coin == "shared"
         )
         self._coin_dealer = (
-            SharedCoinDealer(secret=f"coin/{seed}".encode()) if use_shared else None
+            SharedCoinDealer(secret=config.scoped_seed(f"coin/{seed}").encode())
+            if use_shared
+            else None
         )
         self._honest_factory = (
             base_factory if base_factory is not None else ProtocolFactory.default(config)
@@ -224,7 +252,15 @@ class LanSimulation:
         #: :meth:`restart_process` rebuilds a stack; the invariant
         #: checker uses it to re-attach its observers.
         self.on_stack_rebuilt: Callable[[int, Stack], None] | None = None
-        self.hosts = [_Host() for _ in config.process_ids]
+        if hosts is not None:
+            if len(hosts) != config.num_processes:
+                raise ValueError(
+                    f"shared hosts list has {len(hosts)} entries for "
+                    f"n={config.num_processes}"
+                )
+            self.hosts = hosts
+        else:
+            self.hosts = [_Host() for _ in config.process_ids]
         self.stacks: list[Stack] = []
         for pid in config.process_ids:
             self.stacks.append(self._build_stack(pid))
@@ -235,7 +271,9 @@ class LanSimulation:
         if transform is not None:
             factory = transform(self._honest_factory)
         incarnation = self._generation[pid]
-        rng_tag = f"{self.seed}/{pid}" + (f"/r{incarnation}" if incarnation else "")
+        rng_tag = self.config.scoped_seed(f"{self.seed}/{pid}") + (
+            f"/r{incarnation}" if incarnation else ""
+        )
         return Stack(
             self.config,
             pid,
@@ -318,7 +356,9 @@ class LanSimulation:
     # -- metrics ---------------------------------------------------------------------
 
     def enable_metrics(
-        self, sample_interval_s: float | None = None
+        self,
+        sample_interval_s: float | None = None,
+        registries: "list[MetricsRegistry] | None" = None,
     ) -> list[MetricsRegistry]:
         """Attach a :class:`~repro.obs.metrics.MetricsRegistry` to every
         stack (idempotent) and return the registries.
@@ -328,15 +368,29 @@ class LanSimulation:
         default (``None``) samples only on explicit
         :meth:`sample_metrics` calls -- a ticker keeps the event loop
         non-empty, which would break drive-until-idle ``run()`` loops.
+
+        *registries* attaches caller-supplied registries (one per pid)
+        instead of creating private ones -- the sharded simulation hands
+        each shard per-shard :meth:`~repro.obs.metrics.MetricsRegistry.labeled`
+        views of one shared store.  A tagged group's private registries
+        carry a ``group`` const label so multi-group exports stay
+        distinguishable.
         """
         for pid in self.config.process_ids:
             stack = self.stacks[pid]
             if not stack.metrics.enabled:
-                registry = MetricsRegistry(
-                    clock=lambda: self.loop.now,
-                    const_labels={"process": pid, "runtime": "sim"},
+                if registries is not None:
+                    registry = registries[pid]
+                else:
+                    const_labels = {"process": pid, "runtime": "sim"}
+                    if self.config.group_tag:
+                        const_labels["group"] = self.config.group_tag
+                    registry = MetricsRegistry(
+                        clock=lambda: self.loop.now, const_labels=const_labels
+                    )
+                registry.rebind(
+                    clock=lambda: self.loop.now, incarnation=self._generation[pid]
                 )
-                registry.rebind(incarnation=self._generation[pid])
                 stack.metrics = registry
             if sample_interval_s is not None:
                 self.add_ticker(
@@ -396,7 +450,9 @@ class LanSimulation:
     def _link_jitter(self, src: int, dest: int) -> float:
         rng = self._jitter_rngs.get((src, dest))
         if rng is None:
-            rng = random.Random(f"{self.seed}/jitter/{src}->{dest}")
+            rng = random.Random(
+                self.config.scoped_seed(f"{self.seed}/jitter/{src}->{dest}")
+            )
             self._jitter_rngs[(src, dest)] = rng
         return rng.uniform(0.0, self.jitter_s)
 

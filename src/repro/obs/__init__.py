@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledRegistry,
     MetricsRegistry,
 )
 
@@ -47,6 +48,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LabeledRegistry",
     "MetricsRegistry",
     "read_jsonl",
     "snapshot_records",

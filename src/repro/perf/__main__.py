@@ -6,6 +6,7 @@ Examples::
     python -m repro.perf --quick               # CI-sized run
     python -m repro.perf --area wire --area sim --out /tmp/b.json
     python -m repro.perf --area gateway --out BENCH_gateway.json
+    python -m repro.perf --area shard              # -> BENCH_shard.json
     python -m repro.perf --baseline BENCH_core.json --warn-threshold 0.10
 
 With ``--baseline`` the previous entry is embedded in the new report and
@@ -22,7 +23,25 @@ import os
 import sys
 from typing import Any
 
-from repro.perf.bench import ALL_AREAS, load_report, run_all, speedups, write_report
+from repro.perf.bench import (
+    ALL_AREAS,
+    EXTRA_AREAS,
+    load_report,
+    run_all,
+    speedups,
+    write_report,
+)
+
+
+def _default_out(areas: list[str] | None) -> str:
+    """``BENCH_<area>.json`` when exactly one extra area was selected
+    (so ``--area shard`` lands in its own trajectory file by default),
+    ``BENCH_core.json`` otherwise."""
+    if areas:
+        distinct = sorted(set(areas))
+        if len(distinct) == 1 and distinct[0] in EXTRA_AREAS:
+            return f"BENCH_{distinct[0]}.json"
+    return "BENCH_core.json"
 
 
 def _print_report(report: dict[str, Any]) -> None:
@@ -54,8 +73,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_core.json",
-        help="where to write the trajectory entry (default: %(default)s)",
+        default=None,
+        help="where to write the trajectory entry (default: BENCH_core.json, "
+        "or BENCH_<area>.json when exactly one extra area is selected)",
     )
     parser.add_argument(
         "--baseline",
@@ -75,11 +95,31 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 on any regression warning (default: warn only)",
     )
     args = parser.parse_args(argv)
+    out = args.out if args.out is not None else _default_out(args.area)
 
     report = run_all(quick=args.quick, areas=tuple(args.area) if args.area else None)
     regressed = []
-    if args.baseline and os.path.exists(args.baseline):
-        baseline = load_report(args.baseline)
+    baseline = None
+    if args.baseline:
+        # A baseline that can't be compared is loud, never silent: a run
+        # that skips the comparison looks identical to a clean one, and
+        # that is exactly how regressions used to slip past CI.
+        if not os.path.exists(args.baseline):
+            print(
+                f"WARNING: baseline {args.baseline} not found; "
+                "skipping speedup comparison",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                baseline = load_report(args.baseline)
+            except (OSError, ValueError) as exc:
+                print(
+                    f"WARNING: baseline {args.baseline} unusable "
+                    f"({type(exc).__name__}: {exc}); skipping speedup comparison",
+                    file=sys.stderr,
+                )
+    if baseline is not None:
         report["baseline"] = {
             "git_sha": baseline.get("git_sha", "unknown"),
             "date": baseline.get("date", "unknown"),
@@ -92,8 +132,8 @@ def main(argv: list[str] | None = None) -> int:
             if ratio < 1.0 - args.warn_threshold:
                 regressed.append((metric, ratio))
     _print_report(report)
-    write_report(report, args.out)
-    print(f"wrote {args.out}")
+    write_report(report, out)
+    print(f"wrote {out}")
     for metric, ratio in regressed:
         print(
             f"WARNING: {metric} regressed to {ratio:.2f}x of the baseline "

@@ -1,0 +1,51 @@
+"""Sharded multi-group RITAS: S independent groups behind one routing tier.
+
+One RITAS group totally orders every operation through a single
+atomic-broadcast stream; that stream is the scalability ceiling.  This
+package runs **S independent groups (shards)** over shared
+infrastructure and routes each KV key to exactly one owning group:
+
+- :mod:`repro.shard.ring` -- the deterministic consistent-hash
+  :class:`ShardMap` of keys onto shards (stable under ring changes);
+- :mod:`repro.shard.sim` -- :class:`ShardedLanSimulation`: S LAN
+  simulations on one shared event loop (scale-out or colocated hosts),
+  with per-shard fault plans and per-shard invariant checkers;
+- :mod:`repro.shard.node` -- :class:`ShardedNode`: one process hosting
+  S stacks over shared TCP links, one listener/sender/metrics-registry,
+  shard-tagged channel units multiplexed through shared batches;
+- :mod:`repro.shard.router` -- :class:`ShardRouter`: key -> owning
+  shard's services, with structured :class:`WrongShardError` /
+  :class:`CrossShardError` redirect hints (cross-shard commits are
+  forbidden and measured, per ROADMAP).
+
+Isolation is cryptographic, not just structural: every shard's config
+carries a distinct ``GroupConfig.group_tag``, scoping its MAC keys,
+shared-coin secrets, and RNG streams away from its co-hosted siblings.
+
+See docs/SHARDING.md for usage and DESIGN.md §14 for the architecture.
+"""
+
+from repro.shard.node import ShardedNode, default_keystores, tag_unit
+from repro.shard.ring import DEFAULT_VNODES, ShardMap
+from repro.shard.router import (
+    SINGLE_SHARD_NAME,
+    CrossShardError,
+    ShardRouter,
+    WrongShardError,
+)
+from repro.shard.sim import ShardedLanSimulation, shard_names, sharded_configs
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "SINGLE_SHARD_NAME",
+    "CrossShardError",
+    "ShardMap",
+    "ShardRouter",
+    "ShardedLanSimulation",
+    "ShardedNode",
+    "WrongShardError",
+    "default_keystores",
+    "shard_names",
+    "sharded_configs",
+    "tag_unit",
+]

@@ -1,0 +1,294 @@
+"""One process hosting S RITAS stacks over shared TCP links.
+
+A sharded deployment keeps the paper's topology -- n processes, one
+authenticated link per ordered pair -- but each process runs one stack
+*per shard*.  Everything heavy is shared: one listener socket, one
+outbound connection and sender task per peer, one asyncio loop, one
+:class:`~repro.obs.metrics.MetricsRegistry` (per-shard series live
+behind a ``shard`` label), and one coalescing budget (the sender's
+drain-batch merge packs *different shards'* units into the same batch
+container, so S groups pay the per-write fixed costs once).
+
+Wire multiplexing: shard 0's traffic flows untagged -- byte-identical
+to a plain :class:`~repro.transport.tcp.RitasNode`, which also makes a
+one-shard ``ShardedNode`` wire-compatible with unsharded peers -- and
+shard i>0 units ride behind a 3-byte channel tag::
+
+    0x53 ('S')  |  u16 shard index (big-endian)  |  stack channel unit
+
+0x53 collides with neither ``FRAME_VERSION`` (0x01) nor the batch tag
+(0x42), so the demultiplexer needs no length heuristics.  Inbound, the
+host unpacks node-level batch containers itself and routes each member
+to its owning stack; a member tagged for an unknown shard is dropped
+and charged to the sending peer's misbehavior ledger (the link already
+authenticated it).
+
+Isolation between the hosted groups is the point: each shard's stack
+has its own keystore, coin sequence, and RNG stream (all scoped by
+``GroupConfig.group_tag``), so no shard can forge, replay, or bias
+another's protocol traffic even though they share sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+import time
+from typing import Sequence
+
+from repro.core.config import GroupConfig
+from repro.core.errors import ConfigurationError, WireFormatError
+from repro.core.stack import ProtocolFactory, Stack
+from repro.core.wire import decode_batch_views, is_batch
+from repro.crypto.coin import CoinSource, SharedCoinDealer
+from repro.crypto.keys import KeyStore, TrustedDealer
+from repro.obs.metrics import MetricsRegistry
+from repro.shard.sim import sharded_configs
+from repro.transport.tcp import PeerAddress, RitasNode
+
+#: First byte of a shard-tagged channel unit ('S'); must stay disjoint
+#: from FRAME_VERSION (0x01) and the batch tag (0x42).
+SHARD_TAG = 0x53
+_TAG = struct.Struct(">BH")
+_TAG_LEN = _TAG.size
+
+
+def tag_unit(shard_index: int, unit: bytes) -> bytes:
+    """Wrap a stack channel unit for transport to the peer's demux."""
+    return _TAG.pack(SHARD_TAG, shard_index) + unit
+
+
+def default_keystores(
+    configs: Sequence[GroupConfig], seed: int, process_id: int
+) -> list[KeyStore]:
+    """Per-shard keystores from per-shard trusted dealers, seed-scoped by
+    each config's ``group_tag`` (mirrors the simulator's dealer)."""
+    return [
+        TrustedDealer(
+            config.num_processes,
+            seed=config.scoped_seed_bytes(str(seed).encode()),
+        ).keystore_for(process_id)
+        for config in configs
+    ]
+
+
+class ShardedNode(RitasNode):
+    """A :class:`RitasNode` hosting one stack per shard.
+
+    ``self.stack`` remains shard 0's stack, so every single-stack
+    consumer of the base class (gateway attachment, recovery, link
+    gates) works unchanged against shard 0; the rest live in
+    :attr:`shard_stacks`.
+
+    Args:
+        configs: one group config per shard -- same ``n`` and batching
+            knobs, pairwise-distinct ``group_tag`` (build them with
+            :func:`make_shard_configs`).
+        process_id, addresses, connect_retry_s, seed: as in the base
+            class.  The link codecs authenticate with shard 0's
+            keystore (one link, one pairwise key; per-shard protocol
+            MACs are inside the payload).
+        keystores: per-shard protocol keystores; default derives them
+            from *seed* via :func:`default_keystores`.
+        factories: per-shard protocol registries (fault injection).
+        coins: per-shard explicit coin sources; shards configured with
+            ``bc_coin="shared"`` and no explicit coin derive their own
+            tag-scoped dealer from *seed*, exactly like the base class.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[GroupConfig],
+        process_id: int,
+        addresses: list[PeerAddress],
+        keystores: Sequence[KeyStore] | None = None,
+        *,
+        factories: "Sequence[ProtocolFactory | None] | None" = None,
+        connect_retry_s: float | None = None,
+        seed: int | None = None,
+        coins: "Sequence[CoinSource | None] | None" = None,
+    ):
+        configs = list(configs)
+        if not configs:
+            raise ConfigurationError("a sharded node hosts at least one shard")
+        tags = [config.group_tag for config in configs]
+        if len(set(tags)) != len(tags):
+            raise ConfigurationError(f"shard group_tags must be distinct: {tags!r}")
+        for config in configs[1:]:
+            if config.num_processes != configs[0].num_processes:
+                raise ConfigurationError(
+                    "every hosted shard must have the same group size"
+                )
+        if keystores is None:
+            if seed is None:
+                raise ConfigurationError(
+                    "pass per-shard keystores or a seed to derive them from"
+                )
+            keystores = default_keystores(configs, seed, process_id)
+        keystores = list(keystores)
+        if len(keystores) != len(configs):
+            raise ConfigurationError("need one keystore per shard")
+        factories = list(factories) if factories is not None else [None] * len(configs)
+        coins = list(coins) if coins is not None else [None] * len(configs)
+        self.shard_names: tuple[str, ...] = tuple(
+            tag if tag else f"s{index}" for index, tag in enumerate(tags)
+        )
+        super().__init__(
+            configs[0],
+            process_id,
+            addresses,
+            keystores[0],
+            factory=factories[0],
+            connect_retry_s=connect_retry_s,
+            seed=seed,
+            coin=coins[0],
+        )
+        #: One stack per shard; ``shard_stacks[0] is self.stack``.
+        self.shard_stacks: list[Stack] = [self.stack]
+        self._base_registry: MetricsRegistry | None = None
+        #: Inbound units dropped for carrying an unknown shard index.
+        self.frames_unknown_shard = 0
+        for index in range(1, len(configs)):
+            config = configs[index]
+            coin = coins[index]
+            if coin is None and config.bc_coin == "shared":
+                if seed is None:
+                    raise ConfigurationError(
+                        "config.bc_coin='shared' needs either an explicit coin "
+                        "or a seed to derive the group's dealer secret from"
+                    )
+                dealer = SharedCoinDealer(
+                    secret=config.scoped_seed(
+                        f"ritas-coin/{seed}/{config.num_processes}"
+                    ).encode()
+                )
+                coin = dealer.coin_for(process_id)
+            rng = (
+                random.Random(
+                    config.scoped_seed(
+                        f"ritas/{seed}/{config.num_processes}/{process_id}"
+                    )
+                )
+                if seed is not None
+                else random.Random()
+            )
+            self.shard_stacks.append(
+                Stack(
+                    config,
+                    process_id,
+                    outbox=self._shard_outbox(index),
+                    keystore=keystores[index],
+                    clock=time.monotonic,
+                    factory=factories[index],
+                    rng=rng,
+                    coin=coin,
+                )
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_stacks)
+
+    def stack_for(self, index: int) -> Stack:
+        return self.shard_stacks[index]
+
+    # -- outbound ------------------------------------------------------------
+
+    def _shard_outbox(self, index: int):
+        def outbox(dest: int, data: bytes) -> None:
+            if self._closed:
+                return
+            stack = self.shard_stacks[index]
+            if dest == self.process_id:
+                # Loopback stays in-process and untagged, like the base.
+                asyncio.get_event_loop().call_soon(
+                    stack.receive, self.process_id, data
+                )
+                return
+            self._enqueue_unit(stack, dest, tag_unit(index, data))
+
+        return outbox
+
+    # -- inbound -------------------------------------------------------------
+
+    def _dispatch_inbound(self, src: int, payload: bytes) -> None:
+        # Node-level batch containers may interleave units from several
+        # shards (the sender merges across stacks); unpack here and
+        # route each member.  Untagged members are shard 0's -- its
+        # stack handles any *stack-level* batch nesting itself.
+        if is_batch(payload):
+            try:
+                views = decode_batch_views(payload)
+            except WireFormatError:
+                self.frames_rejected += 1
+                self._report_link_misbehavior(src)
+                return
+            for view in views:
+                self._dispatch_unit(src, bytes(view))
+        else:
+            self._dispatch_unit(src, payload)
+
+    def _dispatch_unit(self, src: int, unit: bytes) -> None:
+        if unit[:1] == b"\x53" and len(unit) >= _TAG_LEN:
+            _, index = _TAG.unpack_from(unit)
+            if index >= len(self.shard_stacks):
+                # An authenticated peer sent a shard we do not host:
+                # misconfiguration or misbehavior either way.
+                self.frames_unknown_shard += 1
+                self.frames_rejected += 1
+                self._report_link_misbehavior(src)
+                return
+            self.shard_stacks[index].receive(src, unit[_TAG_LEN:])
+        else:
+            self.stack.receive(src, unit)
+
+    def _report_link_misbehavior(self, pid: int) -> None:
+        # The link is shared infrastructure: a corrupted or hijacked
+        # session threatens every hosted group equally, so each shard's
+        # ledger records the offense.
+        for stack in self.shard_stacks:
+            stack.report_misbehavior(pid, "mac-failure")
+
+    # -- metrics -------------------------------------------------------------
+
+    def enable_metrics(
+        self, sample_interval_s: float | None = None
+    ) -> MetricsRegistry:
+        """One registry for the whole process; each shard's stack
+        records through a ``shard=<name>``-labeled view of it."""
+        if self._base_registry is None and not self.stack.metrics.enabled:
+            registry = MetricsRegistry(
+                clock=time.monotonic,
+                const_labels={"process": self.process_id, "runtime": "tcp"},
+            )
+            self._base_registry = registry
+            for name, stack in zip(self.shard_names, self.shard_stacks):
+                stack.metrics = registry.labeled(shard=name)
+        if sample_interval_s is not None:
+            self.add_ticker(sample_interval_s, self.sample_metrics)
+        return (
+            self._base_registry
+            if self._base_registry is not None
+            else self.stack.metrics
+        )
+
+    def sample_metrics(self) -> None:
+        if not self.stack.metrics.enabled:
+            return
+        for stack in self.shard_stacks:
+            stack.sample_gauges()
+        registry = (
+            self._base_registry
+            if self._base_registry is not None
+            else self.stack.metrics
+        )
+        for pid, channel in self._send_queues.items():
+            registry.gauge("ritas_send_queue_frames", peer=pid).set(len(channel))
+            registry.gauge("ritas_send_queue_bytes", peer=pid).set(channel.bytes)
+
+
+def make_shard_configs(base: GroupConfig, names: Sequence[str]) -> list[GroupConfig]:
+    """Per-shard configs for a :class:`ShardedNode` (re-export of
+    :func:`repro.shard.sim.sharded_configs` for symmetry)."""
+    return sharded_configs(base, names)

@@ -1,0 +1,125 @@
+"""Consistent-hash shard map: KV keys onto independent RITAS groups.
+
+One RITAS group totally orders everything through a single
+atomic-broadcast stream -- the scalability ceiling the ROADMAP calls
+out.  Sharding runs S independent groups side by side and assigns every
+key a unique owning group, so unrelated keys stop contending for the
+same AB stream.
+
+The assignment is a classic consistent-hash ring (Karger et al.): each
+shard projects ``vnodes`` points onto a 2^64 ring via SHA-256, and a
+key is owned by the first shard point at or clockwise of the key's own
+hash.  Two properties matter here:
+
+- **determinism** -- the mapping is a pure function of the shard names
+  and ``vnodes``; every gateway and every test computes the same owner
+  with no coordination (no randomness, no process state);
+- **stability** -- adding or removing one shard remaps only the keys
+  that land on the touched arcs, ~1/S of the keyspace, leaving every
+  other key's owner untouched (asserted by the router tests).
+
+Cross-shard semantics are *forbid-and-measure* (see
+:mod:`repro.shard.router`): the map answers "who owns this key", never
+"how do two shards commit together".
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+
+def _ring_hash(data: bytes) -> int:
+    """A stable 64-bit ring position (first 8 bytes of SHA-256)."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+#: Default virtual nodes per shard: enough that the largest arc owned by
+#: one shard stays within a few percent of 1/S for small S.
+DEFAULT_VNODES = 64
+
+
+class ShardMap:
+    """An immutable consistent-hash ring over named shards.
+
+    Args:
+        names: shard names, one per group; order defines the shard
+            *index* every router/transport structure uses.  Names must
+            be unique, non-empty, and ``/``-free (they double as
+            ``GroupConfig.group_tag`` values).
+        vnodes: ring points per shard.
+    """
+
+    def __init__(self, names: Sequence[str], vnodes: int = DEFAULT_VNODES):
+        names = list(names)
+        if not names:
+            raise ValueError("a shard map needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in {names!r}")
+        for name in names:
+            if not name or "/" in name:
+                raise ValueError(
+                    f"shard name {name!r} must be non-empty and '/'-free "
+                    "(it doubles as GroupConfig.group_tag)"
+                )
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.names: tuple[str, ...] = tuple(names)
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for index, name in enumerate(self.names):
+            for v in range(vnodes):
+                points.append((_ring_hash(f"shard:{name}:{v}".encode()), index))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [index for _, index in points]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:
+        return f"ShardMap({list(self.names)!r}, vnodes={self.vnodes})"
+
+    def index_of(self, name: str) -> int:
+        """The shard index of *name* (raises ``ValueError`` if absent)."""
+        return self.names.index(name)
+
+    def owner(self, key: str | bytes) -> int:
+        """The index of the shard owning *key*."""
+        if isinstance(key, str):
+            key = key.encode()
+        h = _ring_hash(key)
+        # First ring point clockwise of the key's hash, wrapping at 2^64.
+        i = bisect.bisect_right(self._hashes, h)
+        if i == len(self._hashes):
+            i = 0
+        return self._owners[i]
+
+    def owner_name(self, key: str | bytes) -> str:
+        """The name of the shard owning *key*."""
+        return self.names[self.owner(key)]
+
+    def spread(self, keys: Iterable[str | bytes]) -> dict[str, int]:
+        """Keys-per-shard histogram (by name) -- balance diagnostics."""
+        counts = dict.fromkeys(self.names, 0)
+        for key in keys:
+            counts[self.owner_name(key)] += 1
+        return counts
+
+    # -- ring evolution (new maps; the ring itself is immutable) -------------
+
+    def with_shard(self, name: str) -> "ShardMap":
+        """A new map with *name* appended (existing indexes unchanged)."""
+        return ShardMap([*self.names, name], vnodes=self.vnodes)
+
+    def without_shard(self, name: str) -> "ShardMap":
+        """A new map with *name* removed.
+
+        Indexes of shards after the removed one shift down -- compare
+        by *name*, not index, across a removal.
+        """
+        remaining = [n for n in self.names if n != name]
+        if len(remaining) == len(self.names):
+            raise ValueError(f"no shard named {name!r} in {self.names!r}")
+        return ShardMap(remaining, vnodes=self.vnodes)

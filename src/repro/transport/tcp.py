@@ -146,8 +146,13 @@ class RitasNode:
         self.connect_retry_s = (
             config.reconnect_base_s if connect_retry_s is None else connect_retry_s
         )
+        # Seed derivations are scoped by config.group_tag so same-seed
+        # groups (shards) draw disjoint RNG streams and coin sequences;
+        # untagged groups keep the exact pre-sharding strings.
         self.rng = (
-            random.Random(f"ritas/{seed}/{config.num_processes}/{process_id}")
+            random.Random(
+                config.scoped_seed(f"ritas/{seed}/{config.num_processes}/{process_id}")
+            )
             if seed is not None
             else random.Random()
         )
@@ -158,7 +163,9 @@ class RitasNode:
                     "or a seed to derive the group's dealer secret from"
                 )
             dealer = SharedCoinDealer(
-                secret=f"ritas-coin/{seed}/{config.num_processes}".encode()
+                secret=config.scoped_seed(
+                    f"ritas-coin/{seed}/{config.num_processes}"
+                ).encode()
             )
             coin = dealer.coin_for(process_id)
         self.stack = Stack(
@@ -323,9 +330,11 @@ class RitasNode:
         only on explicit :meth:`sample_metrics` calls.
         """
         if not self.stack.metrics.enabled:
+            const_labels = {"process": self.process_id, "runtime": "tcp"}
+            if self.config.group_tag:
+                const_labels["group"] = self.config.group_tag
             self.stack.metrics = MetricsRegistry(
-                clock=time.monotonic,
-                const_labels={"process": self.process_id, "runtime": "tcp"},
+                clock=time.monotonic, const_labels=const_labels
             )
         if sample_interval_s is not None:
             self.add_ticker(sample_interval_s, self.sample_metrics)
@@ -353,12 +362,18 @@ class RitasNode:
                 self.stack.receive, self.process_id, data
             )
             return
+        self._enqueue_unit(self.stack, dest, data)
+
+    def _enqueue_unit(self, stack: Stack, dest: int, data: bytes) -> None:
+        """Queue one channel unit toward *dest*, charging any shed frames
+        to *stack* (a sharded host queues several stacks' units into the
+        same per-peer channel)."""
         shed = self._send_queues[dest].put(data)
         if shed:
             self.frames_shed += len(shed)
-            self.stack.stats.sends_shed += len(shed)
-            if self.stack.tracer.enabled:
-                self.stack.tracer.emit(
+            stack.stats.sends_shed += len(shed)
+            if stack.tracer.enabled:
+                stack.tracer.emit(
                     self.process_id, KIND_SHED, (), dest=dest, frames=len(shed)
                 )
 
@@ -493,6 +508,18 @@ class RitasNode:
 
     # -- inbound --------------------------------------------------------------------
 
+    def _dispatch_inbound(self, src: int, payload: bytes) -> None:
+        """Hand one link-authenticated channel unit to the hosted stack.
+
+        A sharded host (:class:`repro.shard.ShardedNode`) overrides this
+        to demultiplex several stacks' traffic off the shared link.
+        """
+        self.stack.receive(src, payload)
+
+    def _report_link_misbehavior(self, pid: int) -> None:
+        """Charge an authenticated link-level framing/MAC failure."""
+        self.stack.report_misbehavior(pid, "mac-failure")
+
     async def _on_inbound(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -521,7 +548,7 @@ class RitasNode:
                 # body, and scoring on that claim would let an outsider
                 # slander group members.
                 peer_pid = src
-                self.stack.receive(src, payload)
+                self._dispatch_inbound(src, payload)
         except asyncio.CancelledError:
             pass
         except (asyncio.IncompleteReadError, ConnectionError):
@@ -533,7 +560,7 @@ class RitasNode:
                 # first valid MAC, so a later framing/MAC failure is
                 # chargeable -- either that peer corrupted the stream or
                 # it let someone else hijack its session.
-                self.stack.report_misbehavior(peer_pid, "mac-failure")
+                self._report_link_misbehavior(peer_pid)
             logger.warning(
                 "p%d: rejecting inbound link from %s: %s", self.process_id, peer, exc
             )

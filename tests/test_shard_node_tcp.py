@@ -1,0 +1,198 @@
+"""ShardedNode: S stacks per process over shared authenticated links."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.crypto.keys import TrustedDealer
+from repro.shard.node import ShardedNode, tag_unit
+from repro.shard.sim import sharded_configs
+from repro.transport.tcp import PeerAddress, RitasNode
+
+NAMES = ["s0", "s1"]
+
+
+def make_sharded_group(n=4, names=NAMES, seed=23):
+    configs = sharded_configs(GroupConfig(n), names)
+    blank = [PeerAddress("127.0.0.1", 0) for _ in range(n)]
+    return [ShardedNode(configs, pid, blank, seed=seed) for pid in range(n)]
+
+
+async def start_group(nodes):
+    for node in nodes:
+        await node.listen()
+    addresses = [PeerAddress("127.0.0.1", node.bound_port) for node in nodes]
+    for node in nodes:
+        node.set_peer_addresses(addresses)
+    for node in nodes:
+        await node.connect()
+
+
+async def close_all(nodes):
+    for node in nodes:
+        await node.close()
+
+
+class TestShardedGroup:
+    def test_both_shards_order_over_shared_links(self):
+        """Two groups, one socket mesh: each shard's AB delivers its own
+        stream on every node, in the same order everywhere."""
+
+        async def scenario():
+            nodes = make_sharded_group()
+            try:
+                await start_group(nodes)
+                logs = {
+                    (pid, s): []
+                    for pid in range(4)
+                    for s in range(2)
+                }
+                for node in nodes:
+                    for index, stack in enumerate(node.shard_stacks):
+                        ab = stack.create("ab", ("t",))
+                        ab.on_deliver = (
+                            lambda _i, d, log=logs[(node.process_id, index)]:
+                            log.append((d.sender, bytes(d.payload)))
+                        )
+                k = 3
+                for node in nodes:
+                    for index, stack in enumerate(node.shard_stacks):
+                        with stack.coalesce():
+                            for j in range(k):
+                                stack.instance_at(("t",)).broadcast(
+                                    f"s{index}-p{node.process_id}-{j}".encode()
+                                )
+
+                async def done():
+                    while any(len(log) < 4 * k for log in logs.values()):
+                        await asyncio.sleep(0.01)
+
+                await asyncio.wait_for(done(), timeout=60.0)
+                for index in range(2):
+                    # Total order: every node saw shard `index`'s stream
+                    # identically...
+                    reference = logs[(0, index)]
+                    for pid in range(1, 4):
+                        assert logs[(pid, index)][: len(reference)] == reference[
+                            : len(logs[(pid, index)])
+                        ]
+                    # ...and it contains only that shard's payloads.
+                    assert all(
+                        payload.startswith(f"s{index}-".encode())
+                        for _, payload in reference
+                    )
+            finally:
+                await close_all(nodes)
+
+        asyncio.run(scenario())
+
+    def test_shard_metrics_share_one_registry(self):
+        async def scenario():
+            nodes = make_sharded_group()
+            try:
+                await start_group(nodes)
+                registry = nodes[0].enable_metrics()
+                for index, stack in enumerate(nodes[0].shard_stacks):
+                    assert stack.metrics.enabled
+                delivered = [0, 0]
+                for node in nodes:
+                    for index, stack in enumerate(node.shard_stacks):
+                        ab = stack.create("ab", ("t",))
+                        if node.process_id == 0:
+                            ab.on_deliver = (
+                                lambda _i, _d, idx=index: delivered.__setitem__(
+                                    idx, delivered[idx] + 1
+                                )
+                            )
+                for node in nodes:
+                    for stack in node.shard_stacks:
+                        stack.instance_at(("t",)).broadcast(b"m")
+
+                async def done():
+                    while min(delivered) < 4:
+                        await asyncio.sleep(0.01)
+
+                await asyncio.wait_for(done(), timeout=60.0)
+                nodes[0].sample_metrics()
+                shards_seen = {
+                    metric.get("labels", {}).get("shard")
+                    for metric in registry.snapshot()
+                }
+                assert {"s0", "s1"} <= shards_seen
+            finally:
+                await close_all(nodes)
+
+        asyncio.run(scenario())
+
+
+class TestDemux:
+    def test_unknown_shard_index_is_rejected_and_charged(self):
+        """A tagged unit for an unhosted shard is dropped, counted, and
+        written to every hosted shard's misbehavior ledger."""
+        configs = sharded_configs(GroupConfig(4), NAMES)
+        blank = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
+        node = ShardedNode(configs, 0, blank, seed=1)
+        before = node.frames_rejected
+        node._dispatch_unit(2, tag_unit(7, b"junk"))
+        assert node.frames_unknown_shard == 1
+        assert node.frames_rejected == before + 1
+
+    def test_untagged_units_route_to_shard_zero(self):
+        configs = sharded_configs(GroupConfig(4), NAMES)
+        blank = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
+        node = ShardedNode(configs, 0, blank, seed=1)
+        seen = []
+        node.stack.receive = lambda src, data: seen.append((src, data))
+        node._dispatch_unit(1, b"\x01rest-of-frame")
+        assert seen == [(1, b"\x01rest-of-frame")]
+
+    def test_rejects_duplicate_tags_and_mixed_sizes(self):
+        blank = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="distinct"):
+            ShardedNode(
+                sharded_configs(GroupConfig(4), ["a"]) * 2, 0, blank, seed=1
+            )
+
+
+class TestInterop:
+    def test_single_shard_node_is_wire_compatible_with_plain_nodes(self):
+        """A one-shard ShardedNode with an empty group tag speaks the
+        exact legacy wire format: it joins a group of plain RitasNodes
+        and the mixed group orders together."""
+
+        async def scenario():
+            config = GroupConfig(4)
+            dealer = TrustedDealer(4, seed=b"interop-tests")
+            blank = [PeerAddress("127.0.0.1", 0) for _ in range(4)]
+            nodes = [
+                RitasNode(config, pid, blank, dealer.keystore_for(pid), seed=3)
+                for pid in range(2)
+            ] + [
+                ShardedNode(
+                    [config], pid, blank, [dealer.keystore_for(pid)], seed=3
+                )
+                for pid in range(2, 4)
+            ]
+            try:
+                await start_group(nodes)
+                delivered = [0] * 4
+                for pid, node in enumerate(nodes):
+                    ab = node.stack.create("ab", ("t",))
+                    ab.on_deliver = lambda _i, _d, pid=pid: delivered.__setitem__(
+                        pid, delivered[pid] + 1
+                    )
+                for node in nodes:
+                    node.stack.instance_at(("t",)).broadcast(b"mixed")
+
+                async def done():
+                    while min(delivered) < 4:
+                        await asyncio.sleep(0.01)
+
+                await asyncio.wait_for(done(), timeout=60.0)
+            finally:
+                await close_all(nodes)
+
+        asyncio.run(scenario())

@@ -1,0 +1,108 @@
+"""The consistent-hash shard map: determinism, balance, stability."""
+
+import pytest
+
+from repro.shard.ring import DEFAULT_VNODES, ShardMap
+
+
+class TestConstruction:
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ShardMap(["s0", "s0"])
+
+    def test_rejects_empty_and_slashed_names(self):
+        with pytest.raises(ValueError):
+            ShardMap([""])
+        with pytest.raises(ValueError):
+            ShardMap(["a/b"])
+
+    def test_rejects_no_shards(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+    def test_len_and_names(self):
+        shard_map = ShardMap(["a", "b", "c"])
+        assert len(shard_map) == 3
+        assert shard_map.names == ("a", "b", "c")
+        assert shard_map.index_of("b") == 1
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self):
+        """Two maps built from the same names agree on every key --
+        routing state is derived, never negotiated."""
+        a = ShardMap(["s0", "s1", "s2", "s3"])
+        b = ShardMap(["s0", "s1", "s2", "s3"])
+        keys = [f"key-{i}" for i in range(500)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_order_insensitive_ownership(self):
+        """Ownership depends on shard *names*, not list order: the ring
+        hashes name+vnode, so permuting the name list only permutes the
+        indexes, never which shard owns a key."""
+        a = ShardMap(["alpha", "beta", "gamma"])
+        b = ShardMap(["gamma", "alpha", "beta"])
+        for i in range(300):
+            key = f"k{i}"
+            assert a.owner_name(key) == b.owner_name(key)
+
+    def test_bytes_and_str_keys_agree(self):
+        shard_map = ShardMap(["s0", "s1"])
+        assert shard_map.owner("hello") == shard_map.owner(b"hello")
+
+    def test_single_shard_owns_everything(self):
+        shard_map = ShardMap(["only"])
+        assert all(shard_map.owner(f"k{i}") == 0 for i in range(100))
+
+    def test_spread_is_balanced(self):
+        """With DEFAULT_VNODES virtual nodes per shard, no shard's share
+        of a uniform keyspace strays wildly from 1/S."""
+        shard_map = ShardMap([f"s{i}" for i in range(4)], vnodes=DEFAULT_VNODES)
+        keys = [f"user:{i}" for i in range(4000)]
+        spread = shard_map.spread(keys)
+        assert sum(spread.values()) == len(keys)
+        for name in shard_map.names:
+            share = spread[name] / len(keys)
+            assert 0.10 < share < 0.45, f"{name} owns {share:.0%}"
+
+
+class TestRingChangeStability:
+    """The consistent-hashing contract: adding or removing one shard
+    moves only ~1/S of the keys, and never shuffles keys between two
+    shards that are present in both rings."""
+
+    def test_adding_a_shard_moves_about_one_over_s(self):
+        before = ShardMap([f"s{i}" for i in range(4)])
+        after = before.with_shard("s4")
+        keys = [f"k{i}" for i in range(4000)]
+        moved = sum(
+            1 for k in keys if before.owner_name(k) != after.owner_name(k)
+        )
+        fraction = moved / len(keys)
+        # Expect ~1/5 of keys to land on the newcomer; allow slack for
+        # vnode placement variance but exclude both "nothing moved"
+        # (the new shard owns no keys) and "everything reshuffled".
+        assert 0.05 < fraction < 0.40, f"moved {fraction:.0%}"
+
+    def test_moved_keys_only_move_to_the_new_shard(self):
+        before = ShardMap([f"s{i}" for i in range(4)])
+        after = before.with_shard("s4")
+        for i in range(2000):
+            key = f"k{i}"
+            if before.owner_name(key) != after.owner_name(key):
+                assert after.owner_name(key) == "s4"
+
+    def test_removing_a_shard_only_reassigns_its_keys(self):
+        before = ShardMap([f"s{i}" for i in range(5)])
+        after = before.without_shard("s4")
+        for i in range(2000):
+            key = f"k{i}"
+            if before.owner_name(key) != "s4":
+                assert after.owner_name(key) == before.owner_name(key)
+
+    def test_add_then_remove_round_trips(self):
+        base = ShardMap(["a", "b", "c"])
+        round_tripped = base.with_shard("d").without_shard("d")
+        for i in range(500):
+            key = f"k{i}"
+            assert round_tripped.owner_name(key) == base.owner_name(key)
